@@ -1,0 +1,53 @@
+//! Run every experiment regenerator in sequence (quick scale unless
+//! `--full`). This is the one command that reproduces the paper's whole
+//! evaluation section.
+
+use std::process::Command;
+
+const BINS: [&str; 13] = [
+    "table1_params",
+    "fig05_rop_samples",
+    "fig06_guard_sweep",
+    "fig09_signature_detection",
+    "fig02_motivation",
+    "table2_usrp",
+    "fig10_timeline",
+    "fig11_misalignment",
+    "fig12_tput_delay_fairness",
+    "table3_exposed",
+    "fig14_gain_cdf",
+    "sec5_light_traffic",
+    "ablations",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n=================== {bin} ===================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    // The polling sweep is the slowest; keep it last.
+    println!("\n=================== sec5_polling_sweep ===================\n");
+    let status = Command::new(dir.join("sec5_polling_sweep"))
+        .args(&passthrough)
+        .status()
+        .expect("spawn sec5_polling_sweep");
+    if !status.success() {
+        failures.push("sec5_polling_sweep");
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

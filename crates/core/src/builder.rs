@@ -1,0 +1,216 @@
+//! The high-level simulation API.
+//!
+//! ```
+//! use domino_core::{Scheme, SimulationBuilder};
+//! use domino_core::scenarios;
+//!
+//! let net = scenarios::fig1();
+//! let report = SimulationBuilder::new(net.clone())
+//!     .saturated_downlinks()
+//!     .duration_s(0.5)
+//!     .seed(7)
+//!     .run(Scheme::Domino);
+//! assert!(report.aggregate_mbps() > 0.0);
+//! ```
+
+use crate::report::RunReport;
+use domino_mac::centaur::{CentaurConfig, CentaurSim};
+use domino_mac::domino::{DominoConfig, DominoSim};
+use domino_mac::omniscient::OmniscientSim;
+use domino_mac::{DcfSim, Workload};
+use domino_topology::{Direction, Network};
+
+/// The four channel-access schemes of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// 802.11 DCF (distributed baseline).
+    Dcf,
+    /// CENTAUR-style hybrid (scheduled downlink epochs, DCF uplink).
+    Centaur,
+    /// DOMINO relative scheduling (the paper's contribution).
+    Domino,
+    /// Idealized perfectly-synchronized centralized scheduler.
+    Omniscient,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's figures list them.
+    pub const ALL: [Scheme; 4] = [Scheme::Dcf, Scheme::Centaur, Scheme::Domino, Scheme::Omniscient];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Dcf => "DCF",
+            Scheme::Centaur => "CENTAUR",
+            Scheme::Domino => "DOMINO",
+            Scheme::Omniscient => "Omniscient",
+        }
+    }
+}
+
+/// Configures and runs one simulation.
+#[derive(Clone)]
+pub struct SimulationBuilder {
+    network: Network,
+    workload: Option<Workload>,
+    duration_s: f64,
+    seed: u64,
+    domino: DominoConfig,
+    centaur: CentaurConfig,
+}
+
+impl SimulationBuilder {
+    /// Start building a run over `network`.
+    pub fn new(network: Network) -> SimulationBuilder {
+        SimulationBuilder {
+            network,
+            workload: None,
+            duration_s: 10.0,
+            seed: 1,
+            domino: DominoConfig::default(),
+            centaur: CentaurConfig::default(),
+        }
+    }
+
+    /// Use an explicit workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// UDP at `down_bps` on every downlink and `up_bps` on every uplink
+    /// (the Fig 12 workload).
+    pub fn udp(mut self, down_bps: f64, up_bps: f64) -> Self {
+        self.workload = Some(Workload::udp_updown(&self.network, down_bps, up_bps));
+        self
+    }
+
+    /// TCP at the given offered rates per direction.
+    pub fn tcp(mut self, down_bps: f64, up_bps: f64) -> Self {
+        self.workload = Some(Workload::tcp_updown(&self.network, down_bps, up_bps));
+        self
+    }
+
+    /// Saturated UDP on every downlink.
+    pub fn saturated_downlinks(mut self) -> Self {
+        let links: Vec<_> = self
+            .network
+            .links()
+            .iter()
+            .filter(|l| l.direction == Direction::Downlink)
+            .map(|l| l.id)
+            .collect();
+        self.workload = Some(Workload::udp_saturated(&links));
+        self
+    }
+
+    /// Simulated duration in seconds (the paper uses 50 s runs; tests use
+    /// shorter ones).
+    pub fn duration_s(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.duration_s = seconds;
+        self
+    }
+
+    /// Master random seed (runs are pure functions of config + seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override DOMINO engine parameters (batch size, wired jitter,
+    /// converter knobs).
+    pub fn domino_config(mut self, cfg: DominoConfig) -> Self {
+        self.domino = cfg;
+        self
+    }
+
+    /// Override CENTAUR engine parameters.
+    pub fn centaur_config(mut self, cfg: CentaurConfig) -> Self {
+        self.centaur = cfg;
+        self
+    }
+
+    /// The network under simulation.
+    pub fn network_ref(&self) -> &Network {
+        &self.network
+    }
+
+    /// Run under the given scheme.
+    pub fn run(&self, scheme: Scheme) -> RunReport {
+        let workload = self
+            .workload
+            .clone()
+            .expect("no workload configured: call udp()/tcp()/workload() first");
+        let stats = match scheme {
+            Scheme::Dcf => DcfSim::run(&self.network, &workload, self.duration_s, self.seed),
+            Scheme::Centaur => CentaurSim::run_with(
+                &self.network,
+                &workload,
+                self.duration_s,
+                self.seed,
+                self.centaur.clone(),
+            ),
+            Scheme::Domino => DominoSim::run_with(
+                &self.network,
+                &workload,
+                self.duration_s,
+                self.seed,
+                self.domino.clone(),
+            ),
+            Scheme::Omniscient => {
+                OmniscientSim::run(&self.network, &workload, self.duration_s, self.seed)
+            }
+        };
+        RunReport::new(scheme, workload.flow_links(), stats)
+    }
+
+    /// Run all four schemes with the same configuration.
+    pub fn run_all(&self) -> Vec<RunReport> {
+        Scheme::ALL.iter().map(|&s| self.run(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn builder_runs_every_scheme() {
+        let net = scenarios::fig1();
+        let b = SimulationBuilder::new(net).udp(2e6, 1e6).duration_s(0.3).seed(3);
+        for scheme in Scheme::ALL {
+            let report = b.run(scheme);
+            assert_eq!(report.scheme, scheme);
+            assert!(
+                report.aggregate_mbps() > 0.5,
+                "{}: {}",
+                scheme.label(),
+                report.aggregate_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builder_clones() {
+        let net = scenarios::fig7();
+        let b = SimulationBuilder::new(net).udp(5e6, 0.0).duration_s(0.3).seed(9);
+        let a = b.clone().run(Scheme::Domino);
+        let c = b.run(Scheme::Domino);
+        assert_eq!(a.stats.delivered_bits, c.stats.delivered_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload")]
+    fn missing_workload_panics() {
+        let net = scenarios::fig1();
+        let _ = SimulationBuilder::new(net).run(Scheme::Dcf);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::Domino.label(), "DOMINO");
+        assert_eq!(Scheme::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Run results with the paper's metrics precomputed.
+
+use crate::builder::Scheme;
+use domino_mac::RunStats;
+use domino_topology::LinkId;
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// The links that carried configured flows (fairness and delay are
+    /// computed over these, as in the paper).
+    pub flow_links: Vec<LinkId>,
+    /// Raw per-run statistics.
+    pub stats: RunStats,
+}
+
+impl RunReport {
+    /// Wrap raw stats.
+    pub fn new(scheme: Scheme, flow_links: Vec<LinkId>, stats: RunStats) -> RunReport {
+        RunReport { scheme, flow_links, stats }
+    }
+
+    /// Aggregate goodput in Mb/s (Fig 12a/d metric).
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.stats.aggregate_mbps()
+    }
+
+    /// One link's goodput in Mb/s (Fig 2 metric).
+    pub fn link_mbps(&self, link: LinkId) -> f64 {
+        self.stats.link_mbps(link)
+    }
+
+    /// Jain's fairness index over the flow links (Fig 12c/f metric).
+    pub fn fairness(&self) -> f64 {
+        self.stats.fairness(&self.flow_links)
+    }
+
+    /// Average per-link delivery delay in µs (Fig 12b/e metric).
+    pub fn mean_delay_us(&self) -> f64 {
+        self.stats.mean_delay_us(&self.flow_links)
+    }
+
+    /// Fig 11's series: maximum transmission misalignment per slot index
+    /// in µs (meaningful for DOMINO runs only).
+    pub fn misalignment_by_slot(&self) -> Vec<(u64, f64)> {
+        self.stats.misalignment_by_slot()
+    }
+
+    /// Throughput gain of this run over a baseline (Fig 14's metric).
+    pub fn gain_over(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.aggregate_mbps();
+        assert!(base > 0.0, "baseline delivered nothing");
+        self.aggregate_mbps() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scheme: Scheme, bits: &[u64]) -> RunReport {
+        let mut stats = RunStats::new(bits.len(), 1.0);
+        stats.delivered_bits = bits.to_vec();
+        RunReport::new(scheme, (0..bits.len() as u32).map(LinkId).collect(), stats)
+    }
+
+    #[test]
+    fn metrics_delegate() {
+        let r = report(Scheme::Domino, &[2_000_000, 2_000_000]);
+        assert!((r.aggregate_mbps() - 4.0).abs() < 1e-9);
+        assert!((r.link_mbps(LinkId(0)) - 2.0).abs() < 1e-9);
+        assert!((r.fairness() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_over_baseline() {
+        let d = report(Scheme::Domino, &[4_000_000]);
+        let c = report(Scheme::Dcf, &[2_000_000]);
+        assert!((d.gain_over(&c) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline delivered nothing")]
+    fn gain_over_empty_baseline_panics() {
+        let d = report(Scheme::Domino, &[1]);
+        let c = report(Scheme::Dcf, &[0]);
+        let _ = d.gain_over(&c);
+    }
+}

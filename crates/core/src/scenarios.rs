@@ -1,0 +1,170 @@
+//! Ready-made scenarios for every experiment in the paper.
+
+use domino_phy::units::Dbm;
+use domino_topology::builder::{random_placement, t_topology};
+use domino_topology::network::{make_node, Network, PhyParams};
+use domino_topology::node::{NodeId, NodeRole, Position};
+use domino_topology::rss::RssMatrix;
+use domino_topology::trace::{generate, Trace, TraceConfig};
+
+pub use domino_topology::presets::{fig13a, fig13b};
+
+/// Seed of the canonical synthetic 40-node trace (the stand-in for the
+/// paper's two-building measurement campaign; see DESIGN.md).
+pub const TRACE_SEED: u64 = 0xD0311;
+
+/// Paper Fig 1: three AP–client pairs with a hidden and an exposed
+/// relationship (the running motivation example).
+pub fn fig1() -> Network {
+    domino_topology::presets::fig1(PhyParams::default())
+}
+
+/// Paper Fig 7: four AP–client pairs whose downlinks form a 4-cycle.
+pub fn fig7() -> Network {
+    domino_topology::presets::fig7(PhyParams::default())
+}
+
+/// The canonical synthetic 40-node two-building trace.
+pub fn standard_trace() -> Trace {
+    generate(&TraceConfig::default(), TRACE_SEED)
+}
+
+/// Build `T(m, n)` from the canonical trace (paper §4.2.1). Retries a few
+/// topology seeds if the first cannot furnish enough clients.
+pub fn standard_t(m: usize, n: usize, seed: u64) -> Network {
+    let trace = standard_trace();
+    for attempt in 0..16 {
+        if let Some(net) = t_topology(&trace, m, n, PhyParams::default(), seed ^ (attempt << 32)) {
+            return net;
+        }
+    }
+    panic!("trace cannot furnish T({m},{n})")
+}
+
+/// The Fig 14 random topology: `m` APs with `n` clients each, uniformly
+/// placed in an 800 m × 800 m area with ns-3 default path loss.
+pub fn random_t(m: usize, n: usize, seed: u64) -> Network {
+    random_placement(m, n, 800.0, 30.0, PhyParams::default(), seed)
+}
+
+/// The three USRP prototype scenarios of Table 2: two AP–client pairs
+/// whose relationship is controlled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UsrpScenario {
+    /// Same contention domain: senders hear each other *and* conflict.
+    SameContention,
+    /// Hidden terminals: senders cannot hear each other but collide at
+    /// the receivers.
+    HiddenTerminals,
+    /// Exposed terminals: senders hear each other but both receptions
+    /// survive concurrency.
+    ExposedTerminals,
+}
+
+impl UsrpScenario {
+    /// All three, in Table 2's column order.
+    pub const ALL: [UsrpScenario; 3] = [
+        UsrpScenario::SameContention,
+        UsrpScenario::HiddenTerminals,
+        UsrpScenario::ExposedTerminals,
+    ];
+
+    /// Table 2's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UsrpScenario::SameContention => "SC",
+            UsrpScenario::HiddenTerminals => "HT",
+            UsrpScenario::ExposedTerminals => "ET",
+        }
+    }
+}
+
+/// Build the two-pair network for a Table 2 scenario.
+pub fn usrp_scenario(scenario: UsrpScenario) -> Network {
+    let nodes = vec![
+        make_node(0, NodeRole::Ap, None, Position::new(0.0, 0.0)),
+        make_node(1, NodeRole::Client, Some(0), Position::new(0.0, 10.0)),
+        make_node(2, NodeRole::Ap, None, Position::new(30.0, 0.0)),
+        make_node(3, NodeRole::Client, Some(2), Position::new(30.0, 10.0)),
+    ];
+    let mut rss = RssMatrix::disconnected(4);
+    let pair = Dbm(-55.0);
+    let interfere = Dbm(-60.0);
+    let sense = Dbm(-75.0);
+    let background = Dbm(-95.0);
+    rss.set_symmetric(NodeId(0), NodeId(1), pair);
+    rss.set_symmetric(NodeId(2), NodeId(3), pair);
+    let (ap_ap, cross) = match scenario {
+        UsrpScenario::SameContention => (sense, interfere),
+        UsrpScenario::HiddenTerminals => (background, interfere),
+        UsrpScenario::ExposedTerminals => (sense, background),
+    };
+    rss.set_symmetric(NodeId(0), NodeId(2), ap_ap);
+    // Cross interference: each AP at the other pair's client.
+    rss.set_symmetric(NodeId(0), NodeId(3), cross);
+    rss.set_symmetric(NodeId(2), NodeId(1), cross);
+    // Remaining pairs at background level.
+    rss.set_symmetric(NodeId(1), NodeId(3), background);
+    Network::new(nodes, rss, PhyParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_topology::conflict::{classify_pair, ConflictGraph, PairKind};
+    use domino_topology::LinkId;
+
+    fn downlink_pair(net: &Network) -> (LinkId, LinkId) {
+        let d: Vec<LinkId> = net
+            .links()
+            .iter()
+            .filter(|l| l.is_downlink())
+            .map(|l| l.id)
+            .collect();
+        (d[0], d[1])
+    }
+
+    #[test]
+    fn usrp_scenarios_have_the_right_structure() {
+        let sc = usrp_scenario(UsrpScenario::SameContention);
+        let g = ConflictGraph::build(&sc);
+        let (a, b) = downlink_pair(&sc);
+        assert_eq!(classify_pair(&sc, &g, a, b), PairKind::Contending);
+
+        let ht = usrp_scenario(UsrpScenario::HiddenTerminals);
+        let g = ConflictGraph::build(&ht);
+        let (a, b) = downlink_pair(&ht);
+        assert_eq!(classify_pair(&ht, &g, a, b), PairKind::Hidden);
+
+        let et = usrp_scenario(UsrpScenario::ExposedTerminals);
+        let g = ConflictGraph::build(&et);
+        let (a, b) = downlink_pair(&et);
+        assert_eq!(classify_pair(&et, &g, a, b), PairKind::Exposed);
+    }
+
+    #[test]
+    fn standard_t_shapes() {
+        let net = standard_t(10, 2, 1);
+        assert_eq!(net.aps().len(), 10);
+        assert_eq!(net.num_nodes(), 30);
+        let net65 = standard_t(6, 5, 2);
+        assert_eq!(net65.num_nodes(), 36);
+    }
+
+    #[test]
+    fn random_t_shape() {
+        let net = random_t(20, 3, 7);
+        assert_eq!(net.num_nodes(), 80);
+    }
+
+    #[test]
+    fn trace_is_canonical() {
+        let a = standard_trace();
+        let b = standard_trace();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.rss.get(NodeId(0), NodeId(1)).value(),
+            b.rss.get(NodeId(0), NodeId(1)).value()
+        );
+    }
+}

@@ -1,0 +1,640 @@
+//! DCF: IEEE 802.11 Distributed Coordination Function.
+//!
+//! The paper's primary baseline. Full CSMA/CA: DIFS sensing, binary
+//! exponential backoff (CW 15…1023) with freeze/resume on channel
+//! activity, SIFS-spaced link-layer ACKs, ACK timeouts, retry limit 7.
+//! Hidden- and exposed-terminal behaviour emerges from the medium's RSS
+//! physics, not from special cases.
+//!
+//! [`CsmaCore`] is the per-node contention machine; [`DcfSim`] wires it
+//! to the traffic engine for a pure-DCF run. CENTAUR reuses `CsmaCore`
+//! for its unscheduled uplink.
+
+use crate::flows::{FlowEngine, TCP_TICK};
+use crate::timing::{ack_airtime, ack_timeout, data_airtime, CW_MAX, CW_MIN, DIFS, RETRY_LIMIT, SIFS, SLOT_TIME};
+use crate::workload::{RunStats, Workload};
+use domino_medium::{Frame, FrameBody, Medium, Reception, TxId};
+use domino_phy::error_model::DataRate;
+use domino_sim::rng::streams;
+use domino_sim::{Engine, SimRng, SimTime};
+use domino_topology::{LinkId, Network, NodeId};
+use domino_traffic::{Packet, PacketId};
+
+/// Events of a CSMA-based run. `X` is the scheme extension (unit for pure
+/// DCF; CENTAUR adds epoch events).
+#[derive(Debug)]
+pub enum Ev<X> {
+    /// A UDP flow's next packet is due.
+    UdpArrival {
+        /// Flow index.
+        flow: usize,
+    },
+    /// Periodic TCP application tick.
+    TcpTick {
+        /// Flow index.
+        flow: usize,
+    },
+    /// TCP retransmission-timer check.
+    TcpRto {
+        /// Flow index.
+        flow: usize,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A transmission leaves the air.
+    TxEnd {
+        /// Medium handle.
+        tx: TxId,
+    },
+    /// A node's backoff may have reached zero.
+    BackoffExpire {
+        /// Node index.
+        node: u32,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A data sender's ACK wait expires.
+    AckTimeout {
+        /// Node index.
+        node: u32,
+        /// Staleness guard.
+        gen: u64,
+    },
+    /// A receiver's SIFS elapsed; transmit the ACK.
+    SendAck {
+        /// Acknowledging node.
+        rx: u32,
+        /// The packet being acknowledged.
+        packet: Packet,
+    },
+    /// Scheme-specific event.
+    Scheme(X),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum NodeState {
+    /// Nothing to do or waiting for a packet.
+    Idle,
+    /// Backoff in progress; `anchor` is when the current countdown
+    /// started (None = frozen by a busy channel).
+    Counting { anchor: Option<SimTime> },
+    /// Our data frame is on the air.
+    Transmitting,
+    /// Data sent; waiting for the ACK.
+    AwaitAck,
+}
+
+struct CsmaNode {
+    out_links: Vec<LinkId>,
+    cw: u32,
+    retries: u32,
+    remaining_slots: Option<u32>,
+    state: NodeState,
+    current: Option<Packet>,
+    gen: u64,
+}
+
+impl CsmaNode {
+    fn invalidate(&mut self) -> u64 {
+        self.gen += 1;
+        self.gen
+    }
+}
+
+/// The CSMA/CA contention machinery for a set of contending nodes.
+pub struct CsmaCore {
+    nodes: Vec<CsmaNode>,
+    contender: Vec<bool>,
+    last_busy: Vec<bool>,
+    rng: SimRng,
+    rate: DataRate,
+}
+
+impl CsmaCore {
+    /// Build the core; `contenders` are the nodes that run CSMA (all
+    /// nodes for DCF; only clients for CENTAUR).
+    pub fn new(net: &Network, contenders: &[NodeId], seed: u64) -> CsmaCore {
+        let nodes = (0..net.num_nodes() as u32)
+            .map(|n| CsmaNode {
+                out_links: net.links_from(NodeId(n)),
+                cw: CW_MIN,
+                retries: 0,
+                remaining_slots: None,
+                state: NodeState::Idle,
+                current: None,
+                gen: 0,
+            })
+            .collect();
+        let mut contender = vec![false; net.num_nodes()];
+        for c in contenders {
+            contender[c.index()] = true;
+        }
+        CsmaCore {
+            nodes,
+            contender,
+            last_busy: vec![false; net.num_nodes()],
+            rng: SimRng::derive(seed, streams::DCF_BACKOFF),
+            rate: net.phy().data_rate,
+        }
+    }
+
+    /// Is this node's pending data frame `packet`?
+    fn head_packet(&self, node: usize, fe: &FlowEngine) -> Option<Packet> {
+        if let Some(p) = self.nodes[node].current {
+            return Some(p);
+        }
+        // Earliest-queued head across this node's outgoing links (one
+        // device queue in spirit).
+        self.nodes[node]
+            .out_links
+            .iter()
+            .filter_map(|&l| fe.queue(l).peek().copied())
+            .min_by_key(|p| p.created_at)
+    }
+
+    /// Kick a node: if it is idle and has traffic, enter backoff.
+    pub fn try_start<X>(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+        fe: &FlowEngine,
+    ) {
+        if !self.contender[node] || self.nodes[node].state != NodeState::Idle {
+            return;
+        }
+        if self.head_packet(node, fe).is_none() {
+            return;
+        }
+        if self.nodes[node].remaining_slots.is_none() {
+            let cw = self.nodes[node].cw;
+            self.nodes[node].remaining_slots = Some(self.rng.below(u64::from(cw) + 1) as u32);
+        }
+        self.nodes[node].state = NodeState::Counting { anchor: None };
+        self.resume(node, now, engine, medium);
+    }
+
+    fn resume<X>(
+        &mut self,
+        node: usize,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+    ) {
+        if medium.is_busy(NodeId(node as u32)) {
+            return; // stay frozen; the busy→idle scan resumes us
+        }
+        let remaining = self.nodes[node].remaining_slots.unwrap_or(0);
+        self.nodes[node].state = NodeState::Counting { anchor: Some(now) };
+        let gen = self.nodes[node].invalidate();
+        let expire = now + DIFS + SLOT_TIME * u64::from(remaining);
+        engine.schedule_at(expire, Ev::BackoffExpire { node: node as u32, gen });
+    }
+
+    fn freeze(&mut self, node: usize, now: SimTime) {
+        if let NodeState::Counting { anchor: Some(anchor) } = self.nodes[node].state {
+            let elapsed = now.saturating_since(anchor);
+            let slots_done = elapsed
+                .checked_sub(DIFS)
+                .map(|d| (d.as_nanos() / SLOT_TIME.as_nanos()) as u32)
+                .unwrap_or(0);
+            let rem = self.nodes[node].remaining_slots.unwrap_or(0);
+            self.nodes[node].remaining_slots = Some(rem.saturating_sub(slots_done));
+            self.nodes[node].state = NodeState::Counting { anchor: None };
+            self.nodes[node].invalidate();
+        }
+    }
+
+    /// Re-scan channel state after any medium change, freezing or
+    /// resuming counters.
+    pub fn scan<X>(&mut self, now: SimTime, engine: &mut Engine<Ev<X>>, medium: &Medium) {
+        for node in 0..self.nodes.len() {
+            if !self.contender[node] {
+                continue;
+            }
+            let busy = medium.is_busy(NodeId(node as u32));
+            if busy == self.last_busy[node] {
+                continue;
+            }
+            self.last_busy[node] = busy;
+            if busy {
+                self.freeze(node, now);
+            } else if matches!(self.nodes[node].state, NodeState::Counting { anchor: None }) {
+                self.resume(node, now, engine, medium);
+            }
+        }
+    }
+
+    /// A backoff timer fired: transmit if still valid.
+    pub fn on_backoff_expire<X>(
+        &mut self,
+        node: usize,
+        gen: u64,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &mut Medium,
+        fe: &mut FlowEngine,
+    ) {
+        if self.nodes[node].gen != gen
+            || !matches!(self.nodes[node].state, NodeState::Counting { anchor: Some(_) })
+        {
+            return;
+        }
+        // A transmission that started at this very instant is invisible
+        // to carrier sense (sensing is causal): we transmit into it —
+        // that is exactly how same-slot DCF collisions happen. Busy from
+        // *earlier* transmissions means our freeze lost a race; re-wait.
+        if medium.is_busy_before_instant(NodeId(node as u32), now) {
+            self.freeze(node, now);
+            return;
+        }
+        // Claim the head packet (pop it from its queue on first attempt).
+        let packet = match self.nodes[node].current {
+            Some(p) => p,
+            None => {
+                let head = self.head_packet(node, fe).expect("counting without a packet");
+                let popped = fe
+                    .queue_mut(head.link)
+                    .pop()
+                    .expect("head packet vanished");
+                debug_assert_eq!(popped.id, head.id);
+                self.nodes[node].current = Some(popped);
+                popped
+            }
+        };
+        self.nodes[node].remaining_slots = None;
+        self.nodes[node].state = NodeState::Transmitting;
+        let frame = Frame {
+            src: NodeId(node as u32),
+            body: FrameBody::Data { packet, fake: false, client_burst: None },
+            bits: (packet.payload_bytes + crate::timing::MAC_OVERHEAD_BYTES) * 8,
+        };
+        let airtime = data_airtime(self.rate, packet.payload_bytes);
+        let tx = medium.begin(now, frame);
+        engine.schedule_at(now + airtime, Ev::TxEnd { tx });
+        self.scan(now, engine, medium);
+    }
+
+    /// Shared handling of a finished *data* frame sent by a CSMA node:
+    /// arm the sender's ACK timeout. (Reception side is in
+    /// [`CsmaCore::handle_data_receptions`].)
+    pub fn after_data_tx<X>(
+        &mut self,
+        sender: usize,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+    ) {
+        debug_assert_eq!(self.nodes[sender].state, NodeState::Transmitting);
+        self.nodes[sender].state = NodeState::AwaitAck;
+        let gen = self.nodes[sender].invalidate();
+        engine.schedule_at(
+            now + ack_timeout(self.rate),
+            Ev::AckTimeout { node: sender as u32, gen },
+        );
+    }
+
+    /// Deliver data receptions and schedule ACKs (used for any data
+    /// frame, whether a CSMA node or a scheduled AP sent it).
+    pub fn handle_data_receptions<X>(
+        receptions: &[Reception],
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+        fe: &mut FlowEngine,
+    ) {
+        for r in receptions {
+            if !r.success {
+                continue;
+            }
+            if let FrameBody::Data { packet, fake: false, .. } = &r.frame.body {
+                fe.deliver(packet, now);
+                if !medium.is_transmitting(r.rx) {
+                    engine.schedule_at(
+                        now + SIFS,
+                        Ev::SendAck { rx: r.rx.0, packet: *packet },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Transmit a MAC ACK (fired SIFS after a successful data
+    /// reception).
+    pub fn send_ack<X>(
+        &mut self,
+        rx: usize,
+        packet: &Packet,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &mut Medium,
+    ) {
+        if medium.is_transmitting(NodeId(rx as u32)) {
+            return; // cannot ack while transmitting
+        }
+        let frame = Frame {
+            src: NodeId(rx as u32),
+            body: FrameBody::MacAck { packet: packet.id, link: packet.link, client_burst: None },
+            bits: crate::timing::ACK_BYTES * 8,
+        };
+        let tx = medium.begin(now, frame);
+        engine.schedule_at(now + ack_airtime(self.rate), Ev::TxEnd { tx });
+        self.scan(now, engine, medium);
+    }
+
+    /// An ACK reception reached a CSMA sender: resolve its pending frame.
+    /// Returns true if this reception was consumed.
+    pub fn on_ack_reception<X>(
+        &mut self,
+        r: &Reception,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+        fe: &mut FlowEngine,
+    ) -> bool {
+        let FrameBody::MacAck { packet, .. } = &r.frame.body else {
+            return false;
+        };
+        let node = r.rx.index();
+        if !self.contender[node] {
+            return false;
+        }
+        if !r.success {
+            return true; // lost ACK; the timeout will handle it
+        }
+        match self.nodes[node].current {
+            Some(p) if p.id == *packet && self.nodes[node].state == NodeState::AwaitAck => {
+                self.nodes[node].current = None;
+                self.nodes[node].cw = CW_MIN;
+                self.nodes[node].retries = 0;
+                self.nodes[node].remaining_slots = None;
+                self.nodes[node].state = NodeState::Idle;
+                self.nodes[node].invalidate(); // cancels the pending timeout
+                self.try_start(node, now, engine, medium, fe);
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// The ACK wait expired: retry or drop.
+    pub fn on_ack_timeout<X>(
+        &mut self,
+        node: usize,
+        gen: u64,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+        fe: &mut FlowEngine,
+    ) {
+        if self.nodes[node].gen != gen || self.nodes[node].state != NodeState::AwaitAck {
+            return;
+        }
+        fe.stats.ack_timeouts += 1;
+        self.nodes[node].retries += 1;
+        if self.nodes[node].retries > RETRY_LIMIT {
+            fe.stats.drops += 1;
+            self.nodes[node].current = None;
+            self.nodes[node].cw = CW_MIN;
+            self.nodes[node].retries = 0;
+        } else {
+            fe.stats.retries += 1;
+            self.nodes[node].cw = (self.nodes[node].cw * 2 + 1).min(CW_MAX);
+        }
+        self.nodes[node].remaining_slots = None;
+        self.nodes[node].state = NodeState::Idle;
+        self.nodes[node].invalidate();
+        self.try_start(node, now, engine, medium, fe);
+    }
+
+    /// Kick every contender (after deliveries released new packets).
+    pub fn try_start_all<X>(
+        &mut self,
+        now: SimTime,
+        engine: &mut Engine<Ev<X>>,
+        medium: &Medium,
+        fe: &FlowEngine,
+    ) {
+        for node in 0..self.nodes.len() {
+            self.try_start(node, now, engine, medium, fe);
+        }
+    }
+
+    /// Whether `node`'s data frame is on the air (used by scheme engines
+    /// routing TxEnd events).
+    pub fn is_node_transmitting_data(&self, node: usize) -> bool {
+        self.nodes[node].state == NodeState::Transmitting
+    }
+}
+
+/// A pure-DCF simulation run.
+pub struct DcfSim;
+
+impl DcfSim {
+    /// Run `workload` over `net` for `duration_s` seconds of simulated
+    /// time.
+    pub fn run(net: &Network, workload: &Workload, duration_s: f64, seed: u64) -> RunStats {
+        let mut engine: Engine<Ev<()>> = Engine::new();
+        let mut medium = Medium::new(net.clone(), seed);
+        let mut fe = FlowEngine::new(net, workload, duration_s);
+        let contenders: Vec<NodeId> = (0..net.num_nodes() as u32).map(NodeId).collect();
+        let mut csma = CsmaCore::new(net, &contenders, seed);
+        let mut rto_gen: Vec<u64> = vec![0; workload.flows.len()];
+
+        for flow in fe.udp_flows() {
+            engine.schedule_at(fe.udp_next_arrival(flow), Ev::UdpArrival { flow });
+        }
+        for flow in fe.tcp_flows() {
+            engine.schedule_at(SimTime::ZERO + TCP_TICK, Ev::TcpTick { flow });
+        }
+
+        let horizon = SimTime::ZERO + domino_sim::SimDuration::from_secs_f64(duration_s);
+        while let Some((now, ev)) = engine.pop_until(horizon) {
+            match ev {
+                Ev::UdpArrival { flow } => {
+                    let _ = fe.udp_arrive(flow);
+                    engine.schedule_at(fe.udp_next_arrival(flow), Ev::UdpArrival { flow });
+                    let sender = sender_of_flow(net, &fe, flow);
+                    csma.try_start(sender, now, &mut engine, &medium, &fe);
+                }
+                Ev::TcpTick { flow } => {
+                    fe.tcp_tick(flow, now);
+                    engine.schedule_in(TCP_TICK, Ev::TcpTick { flow });
+                    sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                    csma.try_start_all(now, &mut engine, &medium, &fe);
+                }
+                Ev::TcpRto { flow, gen } => {
+                    if rto_gen[flow] == gen {
+                        fe.tcp_timer(flow, now);
+                        sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                        csma.try_start_all(now, &mut engine, &medium, &fe);
+                    }
+                }
+                Ev::BackoffExpire { node, gen } => {
+                    csma.on_backoff_expire(node as usize, gen, now, &mut engine, &mut medium, &mut fe);
+                }
+                Ev::TxEnd { tx } => {
+                    let receptions = medium.end(tx, now);
+                    csma.scan(now, &mut engine, &medium);
+                    if let Some(first) = receptions.first() {
+                        match &first.frame.body {
+                            FrameBody::Data { .. } => {
+                                csma.after_data_tx(first.frame.src.index(), now, &mut engine);
+                                CsmaCore::handle_data_receptions(
+                                    &receptions, now, &mut engine, &medium, &mut fe,
+                                );
+                                for flow in fe.tcp_flows() {
+                                    sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                                }
+                            }
+                            FrameBody::MacAck { .. } => {
+                                for r in &receptions {
+                                    csma.on_ack_reception(r, now, &mut engine, &medium, &mut fe);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    csma.try_start_all(now, &mut engine, &medium, &fe);
+                }
+                Ev::SendAck { rx, packet } => {
+                    csma.send_ack(rx as usize, &packet, now, &mut engine, &mut medium);
+                }
+                Ev::AckTimeout { node, gen } => {
+                    csma.on_ack_timeout(node as usize, gen, now, &mut engine, &medium, &mut fe);
+                }
+                Ev::Scheme(()) => {}
+            }
+        }
+
+        fe.stats.events = engine.events_processed();
+        fe.stats.tcp_retransmissions = fe.tcp_retransmissions();
+        fe.stats
+    }
+}
+
+/// The sender node of a flow's link.
+fn sender_of_flow(net: &Network, fe: &FlowEngine, flow: usize) -> usize {
+    net.link(fe.flow_link(flow)).sender.index()
+}
+
+/// Re-arm a TCP flow's RTO event after its deadline may have moved.
+pub(crate) fn sync_rto<X>(
+    engine: &mut Engine<Ev<X>>,
+    fe: &FlowEngine,
+    rto_gen: &mut [u64],
+    flow: usize,
+    now: SimTime,
+) {
+    rto_gen[flow] += 1;
+    if let Some(deadline) = fe.tcp_rto_deadline(flow) {
+        let at = deadline.max(now);
+        engine.schedule_at(at, Ev::TcpRto { flow, gen: rto_gen[flow] });
+    }
+}
+
+#[allow(unused)]
+fn _suppress(_: PacketId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{FlowKind, FlowSpec};
+    use domino_phy::units::Dbm;
+    use domino_topology::network::{make_node, PhyParams};
+    use domino_topology::node::{NodeRole, Position};
+    use domino_topology::presets::fig1;
+    use domino_topology::rss::RssMatrix;
+
+    fn one_pair() -> Network {
+        let nodes = vec![
+            make_node(0, NodeRole::Ap, None, Position::default()),
+            make_node(1, NodeRole::Client, Some(0), Position::default()),
+        ];
+        let mut rss = RssMatrix::disconnected(2);
+        rss.set_symmetric(domino_topology::NodeId(0), domino_topology::NodeId(1), Dbm(-55.0));
+        Network::new(nodes, rss, PhyParams::default())
+    }
+
+    #[test]
+    fn saturated_single_pair_throughput() {
+        let net = one_pair();
+        let w = Workload::udp_saturated(&[LinkId(0)]);
+        let stats = DcfSim::run(&net, &w, 2.0, 1);
+        let mbps = stats.aggregate_mbps();
+        // 512 B at 12 Mb/s with DIFS + mean backoff + SIFS + ACK
+        // overhead lands around 7-8 Mb/s.
+        assert!((6.0..9.5).contains(&mbps), "DCF single-pair: {mbps} Mb/s");
+        assert!(stats.ack_timeouts == 0, "clean channel has no timeouts");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = one_pair();
+        let w = Workload::udp_updown(&net, 3e6, 1e6);
+        let a = DcfSim::run(&net, &w, 1.0, 7);
+        let b = DcfSim::run(&net, &w, 1.0, 7);
+        assert_eq!(a.delivered_bits, b.delivered_bits);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn light_load_is_served_fully() {
+        let net = one_pair();
+        let w = Workload::udp_updown(&net, 1e6, 0.5e6);
+        let stats = DcfSim::run(&net, &w, 2.0, 3);
+        let down = stats.link_mbps(LinkId(0));
+        let up = stats.link_mbps(LinkId(1));
+        assert!((down - 1.0).abs() < 0.08, "downlink served: {down}");
+        assert!((up - 0.5).abs() < 0.05, "uplink served: {up}");
+        // Light load means small queues and small delays.
+        assert!(stats.mean_delay_us(&[LinkId(0)]) < 5_000.0);
+    }
+
+    #[test]
+    fn hidden_terminal_starves_victim() {
+        let net = fig1(PhyParams::default());
+        // Saturate the paper's three flows: AP1->C1 (link 0), C2->AP2
+        // (uplink of pair 2), AP3->C3 (downlink of pair 3).
+        let l_ap1 = LinkId(0);
+        let l_c2 = net.links().iter().find(|l| !l.is_downlink() && l.ap == domino_topology::NodeId(2)).unwrap().id;
+        let l_ap3 = net.links().iter().find(|l| l.is_downlink() && l.sender == domino_topology::NodeId(4)).unwrap().id;
+        let w = Workload::udp_saturated(&[l_ap1, l_c2, l_ap3]);
+        let stats = DcfSim::run(&net, &w, 3.0, 5);
+        let t1 = stats.link_mbps(l_ap1);
+        let t3 = stats.link_mbps(l_ap3);
+        // AP3's downlink is the hidden-terminal victim: far below AP1.
+        assert!(t3 < t1 * 0.5, "victim {t3} vs aggressor {t1}");
+        assert!(stats.ack_timeouts > 100, "collisions must show up as timeouts");
+    }
+
+    #[test]
+    fn exposed_terminal_serializes_under_dcf() {
+        let net = fig1(PhyParams::default());
+        let l_ap1 = LinkId(0);
+        let l_c2 = net.links().iter().find(|l| !l.is_downlink() && l.ap == domino_topology::NodeId(2)).unwrap().id;
+        let w = Workload::udp_saturated(&[l_ap1, l_c2]);
+        let stats = DcfSim::run(&net, &w, 2.0, 9);
+        let total = stats.link_mbps(l_ap1) + stats.link_mbps(l_c2);
+        // The two links are exposed (could run concurrently at ~8 each)
+        // but DCF serializes them: aggregate stays near single-link
+        // capacity.
+        assert!(total < 10.0, "DCF should serialize exposed links: {total}");
+        assert!(total > 5.0, "but they do share the channel: {total}");
+    }
+
+    #[test]
+    fn tcp_flow_progresses() {
+        let net = one_pair();
+        let w = Workload {
+            flows: vec![FlowSpec {
+                link: LinkId(0),
+                kind: FlowKind::Tcp { cfg: domino_traffic::TcpConfig::default() },
+            }],
+            packet_bytes: 512,
+        };
+        let stats = DcfSim::run(&net, &w, 2.0, 11);
+        let mbps = stats.link_mbps(LinkId(0));
+        assert!(mbps > 3.0, "TCP over clean DCF: {mbps} Mb/s");
+    }
+}

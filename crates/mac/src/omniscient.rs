@@ -1,0 +1,197 @@
+//! The omniscient centralized scheduler (the Fig 2 upper bound).
+//!
+//! An idealized scheme: the controller sees every queue instantaneously,
+//! all nodes share a perfect clock, and control traffic is free. Each
+//! slot it greedily packs a maximal set of backlogged, non-conflicting
+//! links (the same RAND policy DOMINO uses) and everyone transmits in
+//! perfect synchrony. This is what strict scheduling *would* achieve if
+//! microsecond synchronization were free — the bar DOMINO is measured
+//! against.
+
+use crate::dcf::{sync_rto, Ev};
+use crate::flows::{FlowEngine, TCP_TICK};
+use crate::timing::{ack_airtime, data_airtime, SIFS};
+use crate::workload::{RunStats, Workload};
+use domino_medium::{Frame, FrameBody, Medium};
+use domino_scheduler::RandScheduler;
+use domino_sim::{Engine, SimDuration, SimTime};
+use domino_topology::{ConflictGraph, LinkId, Network};
+
+/// Scheme events for the omniscient engine.
+#[derive(Debug)]
+pub enum OmniEv {
+    /// A synchronized slot begins.
+    SlotStart,
+}
+
+/// The omniscient engine.
+pub struct OmniscientSim;
+
+impl OmniscientSim {
+    /// Run `workload` over `net` for `duration_s` seconds.
+    pub fn run(net: &Network, workload: &Workload, duration_s: f64, seed: u64) -> RunStats {
+        let mut engine: Engine<Ev<OmniEv>> = Engine::new();
+        let mut medium = Medium::new(net.clone(), seed);
+        let mut fe = FlowEngine::new(net, workload, duration_s);
+        let graph = ConflictGraph::build_for_scheduling(net);
+        let mut sched = RandScheduler::new(net.links().len());
+        let mut rto_gen: Vec<u64> = vec![0; workload.flows.len()];
+        let rate = net.phy().data_rate;
+
+        // Fixed slot: data + SIFS + ack + SIFS turnaround.
+        let slot = data_airtime(rate, workload.packet_bytes) + SIFS + ack_airtime(rate) + SIFS;
+
+        for flow in fe.udp_flows() {
+            engine.schedule_at(fe.udp_next_arrival(flow), Ev::UdpArrival { flow });
+        }
+        for flow in fe.tcp_flows() {
+            engine.schedule_at(SimTime::ZERO + TCP_TICK, Ev::TcpTick { flow });
+        }
+        engine.schedule_at(SimTime::ZERO, Ev::Scheme(OmniEv::SlotStart));
+
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(duration_s);
+        while let Some((now, ev)) = engine.pop_until(horizon) {
+            match ev {
+                Ev::UdpArrival { flow } => {
+                    let _ = fe.udp_arrive(flow);
+                    engine.schedule_at(fe.udp_next_arrival(flow), Ev::UdpArrival { flow });
+                }
+                Ev::TcpTick { flow } => {
+                    fe.tcp_tick(flow, now);
+                    engine.schedule_in(TCP_TICK, Ev::TcpTick { flow });
+                    sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                }
+                Ev::TcpRto { flow, gen } => {
+                    if rto_gen[flow] == gen {
+                        fe.tcp_timer(flow, now);
+                        sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                    }
+                }
+                Ev::Scheme(OmniEv::SlotStart) => {
+                    // Perfect knowledge: one maximal set from true queue
+                    // lengths.
+                    let mut backlog: Vec<u32> = (0..net.links().len())
+                        .map(|l| fe.queue(LinkId(l as u32)).len() as u32)
+                        .collect();
+                    let batch = sched.schedule_batch(&graph, &mut backlog, 1);
+                    if let Some(links) = batch.slots.first() {
+                        let mut txs = Vec::new();
+                        for &l in links {
+                            let packet =
+                                fe.queue_mut(l).pop().expect("scheduled an empty queue");
+                            let airtime = data_airtime(rate, packet.payload_bytes);
+                            let frame = Frame {
+                                src: net.link(l).sender,
+                                body: FrameBody::Data { packet, fake: false, client_burst: None },
+                                bits: (packet.payload_bytes + crate::timing::MAC_OVERHEAD_BYTES) * 8,
+                            };
+                            let tx = medium.begin(now, frame);
+                            txs.push((tx, now + airtime));
+                        }
+                        for (tx, end) in txs {
+                            engine.schedule_at(end, Ev::TxEnd { tx });
+                        }
+                    }
+                    engine.schedule_at(now + slot, Ev::Scheme(OmniEv::SlotStart));
+                }
+                Ev::TxEnd { tx } => {
+                    let receptions = medium.end(tx, now);
+                    for r in &receptions {
+                        if let FrameBody::Data { packet, .. } = &r.frame.body {
+                            if r.success {
+                                fe.deliver(packet, now);
+                            } else {
+                                // The omniscient controller observes the
+                                // loss and retries next slot.
+                                fe.stats.retries += 1;
+                                if !fe.queue_mut(packet.link).push_front(*packet) {
+                                    fe.stats.drops += 1;
+                                }
+                            }
+                        }
+                    }
+                    for flow in fe.tcp_flows() {
+                        sync_rto(&mut engine, &fe, &mut rto_gen, flow, now);
+                    }
+                }
+                Ev::BackoffExpire { .. } | Ev::AckTimeout { .. } | Ev::SendAck { .. } => {
+                    unreachable!("no CSMA events in the omniscient engine")
+                }
+            }
+        }
+
+        fe.stats.events = engine.events_processed();
+        fe.stats.tcp_retransmissions = fe.tcp_retransmissions();
+        fe.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_topology::presets::fig1;
+    use domino_topology::{NodeId, PhyParams};
+
+    pub(crate) fn fig1_links(net: &Network) -> (LinkId, LinkId, LinkId) {
+        let l_ap1 = net
+            .links()
+            .iter()
+            .find(|l| l.is_downlink() && l.sender == NodeId(0))
+            .unwrap()
+            .id;
+        let l_c2 = net
+            .links()
+            .iter()
+            .find(|l| !l.is_downlink() && l.ap == NodeId(2))
+            .unwrap()
+            .id;
+        let l_ap3 = net
+            .links()
+            .iter()
+            .find(|l| l.is_downlink() && l.sender == NodeId(4))
+            .unwrap()
+            .id;
+        (l_ap1, l_c2, l_ap3)
+    }
+
+    #[test]
+    fn fig2_shape_exposed_link_runs_continuously() {
+        let net = fig1(PhyParams::default());
+        let (l_ap1, l_c2, l_ap3) = fig1_links(&net);
+        let w = Workload::udp_saturated(&[l_ap1, l_c2, l_ap3]);
+        let stats = OmniscientSim::run(&net, &w, 3.0, 1);
+        let (t1, t2, t3) = (
+            stats.link_mbps(l_ap1),
+            stats.link_mbps(l_c2),
+            stats.link_mbps(l_ap3),
+        );
+        // The exposed uplink rides along every slot; the two hidden
+        // downlinks alternate and each get about half of C2's rate.
+        assert!(t2 > 7.0, "C2->AP2 should be near full rate: {t2}");
+        assert!((t1 - t3).abs() < 1.5, "hidden pair shares fairly: {t1} vs {t3}");
+        assert!(t1 > 3.0 && t3 > 3.0, "no starvation: {t1}, {t3}");
+        assert!(stats.aggregate_mbps() > 14.0, "aggregate: {}", stats.aggregate_mbps());
+    }
+
+    #[test]
+    fn omniscient_beats_dcf_on_fig1() {
+        use crate::dcf::DcfSim;
+        let net = fig1(PhyParams::default());
+        let (l_ap1, l_c2, l_ap3) = fig1_links(&net);
+        let w = Workload::udp_saturated(&[l_ap1, l_c2, l_ap3]);
+        let omni = OmniscientSim::run(&net, &w, 3.0, 1).aggregate_mbps();
+        let dcf = DcfSim::run(&net, &w, 3.0, 1).aggregate_mbps();
+        // The paper's Fig 2: the omniscient scheme is ~76% above DCF.
+        assert!(omni > dcf * 1.4, "omniscient {omni} should clearly beat DCF {dcf}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = fig1(PhyParams::default());
+        let (l_ap1, l_c2, _) = fig1_links(&net);
+        let w = Workload::udp_saturated(&[l_ap1, l_c2]);
+        let a = OmniscientSim::run(&net, &w, 1.0, 3);
+        let b = OmniscientSim::run(&net, &w, 1.0, 3);
+        assert_eq!(a.delivered_bits, b.delivered_bits);
+    }
+}

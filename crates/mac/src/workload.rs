@@ -1,0 +1,256 @@
+//! Workload specification and per-run statistics.
+
+use domino_stats::{jain_index, DelayMeter};
+use domino_topology::{Direction, LinkId, Network};
+use domino_traffic::TcpConfig;
+
+/// What kind of traffic a flow carries.
+#[derive(Clone, Debug)]
+pub enum FlowKind {
+    /// Constant-bit-rate UDP at the given offered rate.
+    Udp {
+        /// Offered rate, bits/s.
+        rate_bps: f64,
+    },
+    /// TCP-lite with the given configuration (offered rate lives inside
+    /// the config).
+    Tcp {
+        /// Transport parameters.
+        cfg: TcpConfig,
+    },
+}
+
+/// One flow over one directed link.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// The directed link the flow's data packets traverse.
+    pub link: LinkId,
+    /// Traffic kind.
+    pub kind: FlowKind,
+}
+
+/// A complete workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// Data packet payload size (the paper's 512 bytes).
+    pub packet_bytes: usize,
+}
+
+impl Workload {
+    /// The paper's Fig 12 workload: UDP on every downlink at
+    /// `down_bps` and on every uplink at `up_bps` (zero-rate flows are
+    /// omitted).
+    pub fn udp_updown(net: &Network, down_bps: f64, up_bps: f64) -> Workload {
+        let flows = net
+            .links()
+            .iter()
+            .filter_map(|l| {
+                let rate = match l.direction {
+                    Direction::Downlink => down_bps,
+                    Direction::Uplink => up_bps,
+                };
+                (rate > 0.0).then_some(FlowSpec { link: l.id, kind: FlowKind::Udp { rate_bps: rate } })
+            })
+            .collect();
+        Workload { flows, packet_bytes: 512 }
+    }
+
+    /// TCP on every downlink at `down_bps` offered and every uplink at
+    /// `up_bps` offered.
+    pub fn tcp_updown(net: &Network, down_bps: f64, up_bps: f64) -> Workload {
+        let flows = net
+            .links()
+            .iter()
+            .filter_map(|l| {
+                let rate = match l.direction {
+                    Direction::Downlink => down_bps,
+                    Direction::Uplink => up_bps,
+                };
+                (rate > 0.0).then_some(FlowSpec {
+                    link: l.id,
+                    kind: FlowKind::Tcp { cfg: TcpConfig { app_rate_bps: rate, ..TcpConfig::default() } },
+                })
+            })
+            .collect();
+        Workload { flows, packet_bytes: 512 }
+    }
+
+    /// Saturated UDP on an explicit set of links (motivation/Table 2
+    /// experiments): offered far above channel capacity.
+    pub fn udp_saturated(links: &[LinkId]) -> Workload {
+        Workload {
+            flows: links
+                .iter()
+                .map(|&l| FlowSpec { link: l, kind: FlowKind::Udp { rate_bps: 20e6 } })
+                .collect(),
+            packet_bytes: 512,
+        }
+    }
+
+    /// Links that carry a configured flow.
+    pub fn flow_links(&self) -> Vec<LinkId> {
+        self.flows.iter().map(|f| f.link).collect()
+    }
+}
+
+/// Everything a scheme engine reports after a run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Measured duration, seconds.
+    pub duration_s: f64,
+    /// Goodput bits delivered per link.
+    pub delivered_bits: Vec<u64>,
+    /// Per-link packet delays.
+    pub delays: Vec<DelayMeter>,
+    /// Packets dropped (queue overflow or retry exhaustion).
+    pub drops: u64,
+    /// MAC-level retransmissions.
+    pub retries: u64,
+    /// ACK timeouts (DCF diagnostics; the paper quotes 57 386 for DCF vs
+    /// 0 for CENTAUR in one configuration).
+    pub ack_timeouts: u64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Transport-layer (TCP) retransmissions across all flows.
+    pub tcp_retransmissions: u64,
+    /// DOMINO only: one record per slot transmission, for the Fig 10
+    /// timeline and the Fig 11 misalignment analysis.
+    pub slot_starts: Vec<SlotStartRecord>,
+}
+
+/// One DOMINO slot transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotStartRecord {
+    /// Absolute slot index.
+    pub slot: u64,
+    /// Transmission start, ns since simulation start.
+    pub start_ns: u64,
+    /// The link transmitting.
+    pub link: LinkId,
+    /// Header-only fake keep-alive?
+    pub fake: bool,
+}
+
+impl RunStats {
+    /// Empty stats over `num_links` links.
+    pub fn new(num_links: usize, duration_s: f64) -> RunStats {
+        RunStats {
+            duration_s,
+            delivered_bits: vec![0; num_links],
+            delays: vec![DelayMeter::new(); num_links],
+            drops: 0,
+            retries: 0,
+            ack_timeouts: 0,
+            events: 0,
+            tcp_retransmissions: 0,
+            slot_starts: Vec::new(),
+        }
+    }
+
+    /// Goodput of one link, Mb/s.
+    pub fn link_mbps(&self, link: LinkId) -> f64 {
+        self.delivered_bits[link.index()] as f64 / self.duration_s / 1e6
+    }
+
+    /// Aggregate goodput, Mb/s.
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.delivered_bits.iter().sum::<u64>() as f64 / self.duration_s / 1e6
+    }
+
+    /// Jain's fairness index over the given links' goodputs (the paper
+    /// computes fairness "among all links" that carry flows).
+    pub fn fairness(&self, links: &[LinkId]) -> f64 {
+        let alloc: Vec<f64> = links.iter().map(|&l| self.link_mbps(l)).collect();
+        jain_index(&alloc)
+    }
+
+    /// Mean delivery delay over the given links, µs ("average delay per
+    /// link": mean of per-link means, matching Fig 12's metric).
+    pub fn mean_delay_us(&self, links: &[LinkId]) -> f64 {
+        let means: Vec<f64> = links
+            .iter()
+            .map(|&l| self.delays[l.index()].mean_us())
+            .filter(|&m| m > 0.0)
+            .collect();
+        if means.is_empty() {
+            0.0
+        } else {
+            means.iter().sum::<f64>() / means.len() as f64
+        }
+    }
+
+    /// Fig 11 metric: maximum pairwise start misalignment per absolute
+    /// slot index, in µs, ordered by slot.
+    pub fn misalignment_by_slot(&self) -> Vec<(u64, f64)> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for r in &self.slot_starts {
+            let e = groups.entry(r.slot).or_insert((r.start_ns, r.start_ns));
+            e.0 = e.0.min(r.start_ns);
+            e.1 = e.1.max(r.start_ns);
+        }
+        groups
+            .into_iter()
+            .map(|(slot, (lo, hi))| (slot, (hi - lo) as f64 / 1_000.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_phy::units::Dbm;
+    use domino_topology::network::{make_node, PhyParams};
+    use domino_topology::node::{NodeId, NodeRole, Position};
+    use domino_topology::rss::RssMatrix;
+
+    fn tiny_net() -> Network {
+        let nodes = vec![
+            make_node(0, NodeRole::Ap, None, Position::default()),
+            make_node(1, NodeRole::Client, Some(0), Position::default()),
+        ];
+        let mut rss = RssMatrix::disconnected(2);
+        rss.set_symmetric(NodeId(0), NodeId(1), Dbm(-55.0));
+        Network::new(nodes, rss, PhyParams::default())
+    }
+
+    #[test]
+    fn udp_updown_builds_flows_per_direction() {
+        let net = tiny_net();
+        let w = Workload::udp_updown(&net, 10e6, 5e6);
+        assert_eq!(w.flows.len(), 2);
+        let w0 = Workload::udp_updown(&net, 10e6, 0.0);
+        assert_eq!(w0.flows.len(), 1, "zero-rate uplink omitted");
+    }
+
+    #[test]
+    fn stats_throughput_and_fairness() {
+        let mut s = RunStats::new(2, 2.0);
+        s.delivered_bits[0] = 4_000_000;
+        s.delivered_bits[1] = 4_000_000;
+        assert!((s.link_mbps(LinkId(0)) - 2.0).abs() < 1e-12);
+        assert!((s.aggregate_mbps() - 4.0).abs() < 1e-12);
+        assert!((s.fairness(&[LinkId(0), LinkId(1)]) - 1.0).abs() < 1e-12);
+        s.delivered_bits[1] = 0;
+        assert!((s.fairness(&[LinkId(0), LinkId(1)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misalignment_groups_by_slot() {
+        let mut s = RunStats::new(1, 1.0);
+        let rec = |slot, start_ns| SlotStartRecord { slot, start_ns, link: LinkId(0), fake: false };
+        s.slot_starts = vec![rec(0, 1_000), rec(0, 21_000), rec(1, 50_000), rec(1, 52_000)];
+        let m = s.misalignment_by_slot();
+        assert_eq!(m, vec![(0, 20.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn mean_delay_skips_silent_links() {
+        let mut s = RunStats::new(2, 1.0);
+        s.delays[0].record_us(100.0);
+        s.delays[0].record_us(200.0);
+        assert!((s.mean_delay_us(&[LinkId(0), LinkId(1)]) - 150.0).abs() < 1e-12);
+    }
+}

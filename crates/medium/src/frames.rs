@@ -1,0 +1,184 @@
+//! On-air frame types.
+//!
+//! Every transmission the simulator puts on the medium is one of these
+//! frames. The DOMINO-specific control surfaces — trigger instructions
+//! appended to data/ACK frames (Fig 8), signature bursts, ROP polls and
+//! replies — are first-class frame fields, so "a corrupted packet loses
+//! its trigger instructions" and similar couplings fall out naturally.
+
+use domino_topology::{LinkId, NodeId};
+use domino_traffic::{Packet, PacketId};
+
+/// A set of signatures one node broadcasts to trigger the next slot's
+/// transmitters (paper §3.2). `targets[i]` owns `codes[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Burst {
+    /// Gold-code indices being summed (at most 4, §3.2).
+    pub codes: Vec<u32>,
+    /// The nodes those codes belong to (same order as `codes`).
+    pub targets: Vec<NodeId>,
+    /// Which end-of-burst marker follows the signatures.
+    pub marker: BurstMarker,
+    /// Absolute index of the slot this burst triggers (lets a triggered
+    /// client know which slot it is starting, and feeds the Fig 11
+    /// misalignment log).
+    pub slot: u64,
+    /// The broadcaster itself transmits again in slot `slot`. Every
+    /// slot's bursts are simultaneous, so a node that just broadcast is
+    /// deaf to its triggers; the controller sets this flag in the
+    /// instruction instead (APs derive it from their own program).
+    pub continues: bool,
+}
+
+impl Burst {
+    /// An empty burst carrying only a marker.
+    pub fn marker_only(marker: BurstMarker) -> Burst {
+        Burst { codes: Vec::new(), targets: Vec::new(), marker, slot: 0, continues: false }
+    }
+
+    /// Number of combined signatures.
+    pub fn combined(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// The special signature appended after the trigger signatures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstMarker {
+    /// S′ — the START signature: triggered nodes begin the next slot
+    /// immediately.
+    Start,
+    /// The ROP signature: triggered nodes wait one ROP slot before
+    /// transmitting (paper §3.3).
+    Rop,
+}
+
+/// What a frame carries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameBody {
+    /// A data frame on `packet.link`. When `fake` is set, only the MAC
+    /// header goes on the air (schedule keep-alive, §3.3) and nothing is
+    /// delivered to the flow.
+    ///
+    /// `client_burst` is the trigger instruction for the receiving client
+    /// (the samples of S1 in Fig 8): the client stores it if and only if
+    /// the frame decodes.
+    Data {
+        /// The payload packet.
+        packet: Packet,
+        /// Header-only fake-link frame?
+        fake: bool,
+        /// S1 instruction for the client, when the AP is the sender.
+        client_burst: Option<Burst>,
+    },
+    /// Link-layer acknowledgment. Carries the S1 instruction when the AP
+    /// is the *receiver* (Fig 8b: the AP appends S1 to the ACK).
+    MacAck {
+        /// Packet being acknowledged.
+        packet: PacketId,
+        /// The link the data traveled on.
+        link: LinkId,
+        /// S1 instruction for the client, when the AP sends this ACK.
+        client_burst: Option<Burst>,
+    },
+    /// ROP polling packet, broadcast by an AP to all its clients
+    /// (paper Fig 4).
+    Poll {
+        /// The polling AP.
+        ap: NodeId,
+    },
+    /// One client's share of the collective ROP answer symbol: its queue
+    /// length on its private subchannel.
+    RopReport {
+        /// The reporting client.
+        client: NodeId,
+        /// Its AP.
+        ap: NodeId,
+        /// Queue length, already clamped to 63.
+        queue: u32,
+    },
+    /// A signature burst (trigger transmission).
+    SignatureBurst(Burst),
+}
+
+/// A frame queued for / on the medium.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Payload.
+    pub body: FrameBody,
+    /// Coded bits on air (drives the PER model; 0 for signature bursts
+    /// and ROP symbols, which use their own detection models).
+    pub bits: usize,
+}
+
+impl Frame {
+    /// The nodes whose reception of this frame the medium must adjudicate.
+    ///
+    /// `clients_of_ap` resolves a Poll's audience; signature bursts are
+    /// adjudicated at their trigger targets.
+    pub fn intended_receivers(&self, clients_of_ap: impl Fn(NodeId) -> Vec<NodeId>) -> Vec<NodeId> {
+        match &self.body {
+            FrameBody::Data { packet: _, .. } => Vec::new(), // resolved by caller (needs link table)
+            FrameBody::MacAck { .. } => Vec::new(),          // resolved by caller
+            FrameBody::Poll { ap } => clients_of_ap(*ap),
+            FrameBody::RopReport { ap, .. } => vec![*ap],
+            FrameBody::SignatureBurst(b) => b.targets.clone(),
+        }
+    }
+
+    /// True for frames adjudicated by the correlation-detection model
+    /// rather than the packet PER model.
+    pub fn is_signature(&self) -> bool {
+        matches!(self.body, FrameBody::SignatureBurst(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_helpers() {
+        let b = Burst {
+            codes: vec![3, 7],
+            targets: vec![NodeId(3), NodeId(7)],
+            marker: BurstMarker::Start,
+            slot: 4,
+            continues: false,
+        };
+        assert_eq!(b.combined(), 2);
+        let m = Burst::marker_only(BurstMarker::Rop);
+        assert_eq!(m.combined(), 0);
+        assert_eq!(m.marker, BurstMarker::Rop);
+    }
+
+    #[test]
+    fn receivers_of_poll_are_its_clients() {
+        let f = Frame {
+            src: NodeId(0),
+            body: FrameBody::Poll { ap: NodeId(0) },
+            bits: 200,
+        };
+        let rx = f.intended_receivers(|_| vec![NodeId(1), NodeId(2)]);
+        assert_eq!(rx, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn receivers_of_burst_are_targets() {
+        let f = Frame {
+            src: NodeId(4),
+            body: FrameBody::SignatureBurst(Burst {
+                codes: vec![9],
+                targets: vec![NodeId(9)],
+                marker: BurstMarker::Start,
+                slot: 0,
+                continues: false,
+            }),
+            bits: 0,
+        };
+        assert!(f.is_signature());
+        assert_eq!(f.intended_receivers(|_| vec![]), vec![NodeId(9)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! A minimal complex-number type for baseband sample processing.
+//!
+//! The offline dependency set has no `num-complex`, so we carry our own.
+//! Only the operations the OFDM/correlator code needs are implemented.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Unit phasor `e^{i·theta}`.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Construct from polar form.
+    #[inline]
+    pub fn from_polar(magnitude: f64, theta: f64) -> Complex {
+        Complex { re: magnitude * theta.cos(), im: magnitude * theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude (cheaper than [`Complex::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert!(close(p.re, 5.0) && close(p.im, 5.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let p = Complex::I * Complex::I;
+        assert!(close(p.re, -1.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn conjugate_product_is_norm() {
+        let a = Complex::new(3.0, 4.0);
+        let p = a * a.conj();
+        assert!(close(p.re, 25.0) && close(p.im, 0.0));
+        assert!(close(a.abs(), 5.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = Complex::from_polar(2.0, PI / 3.0);
+        assert!(close(a.abs(), 2.0));
+        assert!(close(a.arg(), PI / 3.0));
+    }
+
+    #[test]
+    fn phase_rotation_preserves_magnitude() {
+        let a = Complex::new(1.5, -0.5);
+        let r = a * Complex::from_phase(1.234);
+        assert!((r.abs() - a.abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: Complex = (0..4).map(|k| Complex::from_phase(PI / 2.0 * k as f64)).sum();
+        // 1 + i - 1 - i = 0
+        assert!(s.abs() < 1e-12);
+    }
+}

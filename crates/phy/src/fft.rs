@@ -1,0 +1,156 @@
+//! In-place radix-2 decimation-in-time FFT.
+//!
+//! The ROP symbol uses a 256-point transform (Table 1 of the paper); the
+//! offline dependency set has no FFT crate, so this is a small, well-tested
+//! implementation. Power-of-two sizes only, which is all OFDM needs.
+
+use crate::complex::Complex;
+use core::f64::consts::PI;
+
+/// Forward FFT, in place. `data.len()` must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// Inverse FFT, in place, normalized by 1/N. `data.len()` must be a power of
+/// two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_phase(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!(close(*v, Complex::ONE));
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut x = vec![Complex::ONE; 16];
+        fft(&mut x);
+        assert!(close(x[0], Complex::new(16.0, 0.0)));
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_phase(2.0 * PI * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        assert!((x[k].abs() - n as f64).abs() < 1e-6);
+        for (i, v) in x.iter().enumerate() {
+            if i != k {
+                assert!(v.abs() < 1e-6, "leakage at bin {i}: {}", v.abs());
+            }
+        }
+    }
+
+    use core::f64::consts::PI;
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let n = 256;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let orig = x.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sqrt(), 1.0)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fab);
+        for i in 0..n {
+            assert!(close(fab[i], fa[i] + fb[i]));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.7).sin()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut fx = x;
+        fft(&mut fx);
+        let freq_energy: f64 = fx.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft(&mut x);
+    }
+}

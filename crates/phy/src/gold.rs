@@ -1,0 +1,276 @@
+//! Gold-code node signatures.
+//!
+//! DOMINO assigns every wireless node a signature drawn from a family of
+//! Gold codes of length 127 (paper §3.2): 129 codes generated from a
+//! preferred pair of degree-7 m-sequences. Gold codes have three-valued
+//! cross-correlation {-1, -17, +15}, which is what lets a receiver detect
+//! its own signature underneath other signatures and packet interference.
+
+/// Length of the signature codes used by DOMINO (2^7 - 1).
+pub const CODE_LENGTH: usize = 127;
+
+/// Number of codes in the degree-7 Gold family (2 m-sequences + 127 sums).
+pub const FAMILY_SIZE: usize = 129;
+
+/// Peak absolute cross-correlation for a degree-7 Gold family: t(7) = 17.
+pub const MAX_CROSS_CORRELATION: i32 = 17;
+
+/// A binary spreading code in ±1 chip representation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Code {
+    chips: Vec<i8>,
+}
+
+impl Code {
+    /// The chips of the code, each +1 or -1.
+    #[inline]
+    pub fn chips(&self) -> &[i8] {
+        &self.chips
+    }
+
+    /// Code length in chips.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// True if the code has no chips (never the case for generated codes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Periodic (circular) cross-correlation with `other` at the given chip
+    /// `shift`: `Σ_t self[t] · other[(t + shift) mod L]`.
+    pub fn periodic_correlation(&self, other: &Code, shift: usize) -> i32 {
+        assert_eq!(self.len(), other.len(), "correlating codes of unequal length");
+        let n = self.len();
+        let mut acc = 0i32;
+        for t in 0..n {
+            acc += i32::from(self.chips[t]) * i32::from(other.chips[(t + shift) % n]);
+        }
+        acc
+    }
+
+    /// Peak periodic autocorrelation sidelobe (max |corr| over non-zero
+    /// shifts).
+    pub fn max_autocorrelation_sidelobe(&self) -> i32 {
+        (1..self.len())
+            .map(|s| self.periodic_correlation(self, s).abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Generate a maximal-length sequence from a Fibonacci LFSR.
+///
+/// `taps` lists the feedback tap positions (1-based, e.g. `[7, 3]` for
+/// x^7 + x^3 + 1). `degree` is the register length; the output has period
+/// 2^degree - 1. The register is seeded with all ones.
+pub fn m_sequence(degree: u32, taps: &[u32]) -> Code {
+    assert!((2..=16).contains(&degree), "unsupported LFSR degree {degree}");
+    assert!(taps.contains(&degree), "tap list must include the degree itself");
+    let period = (1usize << degree) - 1;
+    let mut state: u32 = (1 << degree) - 1; // all ones
+    let mut chips = Vec::with_capacity(period);
+    for _ in 0..period {
+        let out = state & 1;
+        chips.push(if out == 1 { 1 } else { -1 });
+        let fb = taps.iter().fold(0u32, |acc, &t| acc ^ ((state >> (degree - t)) & 1));
+        state = (state >> 1) | (fb << (degree - 1));
+    }
+    Code { chips }
+}
+
+/// XOR (product in ±1 form) of two equal-length codes, with `b` circularly
+/// shifted by `shift` chips.
+fn product_shifted(a: &Code, b: &Code, shift: usize) -> Code {
+    let n = a.len();
+    let chips = (0..n)
+        .map(|t| a.chips[t] * b.chips[(t + shift) % n])
+        .collect();
+    Code { chips }
+}
+
+/// The Gold-code family used by DOMINO.
+///
+/// The default is the degree-7 family (129 codes of length 127) the
+/// paper deploys; §5 discusses scaling past 127 nodes per collision
+/// domain with longer codes, which [`GoldFamily::degree9`] provides
+/// (513 codes of length 511, 25.55 µs per signature at 20 Mchip/s).
+pub struct GoldFamily {
+    codes: Vec<Code>,
+}
+
+impl GoldFamily {
+    /// Construct the standard degree-7 family (129 codes of length 127).
+    pub fn degree7() -> GoldFamily {
+        Self::from_preferred_pair(7, &[7, 3], &[7, 3, 2, 1])
+    }
+
+    /// Construct the degree-9 family the paper's §5 proposes for denser
+    /// collision domains: 513 codes of length 511, with peak
+    /// cross-correlation t(9) = 33 (still 24 dB below the
+    /// autocorrelation peak).
+    pub fn degree9() -> GoldFamily {
+        Self::from_preferred_pair(9, &[9, 4], &[9, 6, 4, 3])
+    }
+
+    /// Build a family from a preferred pair of m-sequences.
+    fn from_preferred_pair(degree: u32, taps_u: &[u32], taps_v: &[u32]) -> GoldFamily {
+        let u = m_sequence(degree, taps_u);
+        let v = m_sequence(degree, taps_v);
+        let period = u.len();
+        let mut codes = Vec::with_capacity(period + 2);
+        codes.push(u.clone());
+        codes.push(v.clone());
+        for shift in 0..period {
+            codes.push(product_shifted(&u, &v, shift));
+        }
+        GoldFamily { codes }
+    }
+
+    /// Number of codes in the family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the family is empty (never for [`GoldFamily::degree7`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code at `index`; panics if out of range.
+    #[inline]
+    pub fn code(&self, index: usize) -> &Code {
+        &self.codes[index]
+    }
+
+    /// Iterate over all codes.
+    pub fn iter(&self) -> impl Iterator<Item = &Code> {
+        self.codes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_sequence_has_full_period() {
+        let c = m_sequence(7, &[7, 3]);
+        assert_eq!(c.len(), 127);
+        // Balance property: one more +1 than -1 (or vice versa).
+        let sum: i32 = c.chips().iter().map(|&x| i32::from(x)).sum();
+        assert_eq!(sum.abs(), 1);
+    }
+
+    #[test]
+    fn m_sequence_autocorrelation_is_two_valued() {
+        let c = m_sequence(7, &[7, 3]);
+        assert_eq!(c.periodic_correlation(&c, 0), 127);
+        for s in 1..127 {
+            assert_eq!(c.periodic_correlation(&c, s), -1, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn preferred_pair_cross_correlation_is_three_valued() {
+        let u = m_sequence(7, &[7, 3]);
+        let v = m_sequence(7, &[7, 3, 2, 1]);
+        for s in 0..127 {
+            let c = u.periodic_correlation(&v, s);
+            assert!(
+                c == -1 || c == -17 || c == 15,
+                "cross-correlation {c} at shift {s} not in {{-1, -17, 15}}"
+            );
+        }
+    }
+
+    #[test]
+    fn family_has_129_distinct_codes() {
+        let fam = GoldFamily::degree7();
+        assert_eq!(fam.len(), FAMILY_SIZE);
+        for i in 0..fam.len() {
+            for j in (i + 1)..fam.len() {
+                assert_ne!(fam.code(i), fam.code(j), "codes {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn family_cross_correlation_bounded() {
+        let fam = GoldFamily::degree7();
+        // Spot-check a subset of pairs at all shifts (full scan is O(129² ·
+        // 127²) and too slow for a unit test).
+        for i in (0..fam.len()).step_by(17) {
+            for j in (0..fam.len()).step_by(13) {
+                if i == j {
+                    continue;
+                }
+                for s in (0..127).step_by(7) {
+                    let c = fam.code(i).periodic_correlation(fam.code(j), s);
+                    assert!(
+                        c.abs() <= MAX_CROSS_CORRELATION,
+                        "|corr|={} for codes ({i},{j}) shift {s}",
+                        c.abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gold_code_autocorrelation_sidelobes_bounded() {
+        let fam = GoldFamily::degree7();
+        for i in [2, 10, 64, 128] {
+            let peak = fam.code(i).max_autocorrelation_sidelobe();
+            assert!(peak <= MAX_CROSS_CORRELATION, "code {i}: sidelobe {peak}");
+        }
+    }
+
+    #[test]
+    fn chips_are_plus_minus_one() {
+        let fam = GoldFamily::degree7();
+        for code in fam.iter() {
+            assert!(code.chips().iter().all(|&c| c == 1 || c == -1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tap list")]
+    fn taps_must_include_degree() {
+        let _ = m_sequence(7, &[3, 2]);
+    }
+
+    #[test]
+    fn degree9_family_supports_511_nodes() {
+        let fam = GoldFamily::degree9();
+        assert_eq!(fam.len(), 513);
+        assert_eq!(fam.code(0).len(), 511);
+        // t(9) = 2^5 + 1 = 33 for the preferred pair.
+        let u = fam.code(0);
+        let v = fam.code(1);
+        for s in (0..511).step_by(17) {
+            let c = u.periodic_correlation(v, s);
+            assert!(
+                c == -1 || c == -33 || c == 31,
+                "degree-9 cross-correlation {c} at shift {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree9_gold_sidelobes_bounded() {
+        let fam = GoldFamily::degree9();
+        for i in [2usize, 100, 512] {
+            // Spot-check shifts; a full scan is too slow for a unit test.
+            for s in (1..511).step_by(31) {
+                let c = fam.code(i).periodic_correlation(fam.code(i), s);
+                assert!(c.abs() <= 33, "sidelobe {c} for code {i} shift {s}");
+            }
+        }
+    }
+}

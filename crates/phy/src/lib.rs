@@ -1,0 +1,38 @@
+//! # domino-phy
+//!
+//! Physical-layer substrate for the DOMINO (CoNEXT'13) reproduction.
+//!
+//! The paper's PHY contributions are exercised at two levels:
+//!
+//! * **Sample level** (this crate): a real OFDM encode/impair/decode
+//!   pipeline for Rapid OFDM Polling ([`ofdm`], reproducing Table 1 and
+//!   Figs 3–6), and real Gold-code signature synthesis + correlation
+//!   detection ([`gold`], [`signature`], reproducing Fig 9). These replace
+//!   the paper's USRP/GNURadio experiments.
+//! * **Abstract level** (used by the network simulator): log-distance
+//!   propagation ([`pathloss`]), an ns-3-style SINR→PER model
+//!   ([`error_model`]), and power-unit arithmetic ([`units`]). The
+//!   network-scale trigger/ROP success models in `domino-medium` and
+//!   `domino-mac` are calibrated against this crate's sample-level
+//!   experiments.
+//!
+//! Supporting DSP lives in [`complex`] and [`fft`] (the offline dependency
+//! set has no complex/FFT crates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod error_model;
+pub mod fft;
+pub mod gold;
+pub mod ofdm;
+pub mod pathloss;
+pub mod signature;
+pub mod units;
+
+pub use complex::Complex;
+pub use error_model::DataRate;
+pub use gold::GoldFamily;
+pub use pathloss::LogDistanceModel;
+pub use units::{Db, Dbm};

@@ -1,0 +1,225 @@
+//! AP-side ROP demodulation.
+//!
+//! The AP aligns one FFT window after the cyclic prefix (every client's
+//! delayed symbol still fills the window because the skew is below the CP,
+//! paper Fig 4), takes the 256-point FFT and reads each assigned
+//! subchannel's 6 data subcarriers. Because a single symbol gives no phase
+//! reference, bits are decided on *amplitude* (2-ASK, §3.1):
+//!
+//! * a per-symbol noise gate is estimated from the band-edge guard bins,
+//!   which no subchannel ever occupies;
+//! * within a subchannel, the threshold is half the strongest subcarrier
+//!   amplitude (every client transmits its 1-bits at one power), floored
+//!   by the noise gate.
+
+use super::layout::SubcarrierLayout;
+use super::signalgen::bits_to_queue;
+use super::RopSymbolConfig;
+use crate::complex::Complex;
+use crate::fft::fft;
+
+/// Decoder tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DecoderConfig {
+    /// Noise gate as a multiple of the mean edge-guard amplitude.
+    pub noise_gate_factor: f64,
+    /// Bit threshold as a fraction of the strongest in-subchannel
+    /// amplitude.
+    pub relative_threshold: f64,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig { noise_gate_factor: 4.0, relative_threshold: 0.5 }
+    }
+}
+
+/// The decoded report of one subchannel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubchannelReport {
+    /// Subchannel index.
+    pub subchannel: usize,
+    /// Decided bits, MSB first.
+    pub bits: Vec<bool>,
+    /// The queue length those bits encode.
+    pub queue: u32,
+}
+
+/// Decode the queue reports of `subchannels` from one received ROP symbol
+/// (CP included). Also returns the per-bin amplitude spectrum for
+/// diagnostics (used to regenerate Fig 5).
+pub fn decode_symbol(
+    cfg: &RopSymbolConfig,
+    layout: &SubcarrierLayout,
+    samples: &[Complex],
+    subchannels: &[usize],
+    dec: &DecoderConfig,
+) -> (Vec<SubchannelReport>, Vec<f64>) {
+    assert_eq!(samples.len(), cfg.cp_len + cfg.n_fft, "wrong symbol length");
+    let mut body: Vec<Complex> = samples[cfg.cp_len..].to_vec();
+    fft(&mut body);
+    let spectrum: Vec<f64> = body.iter().map(|c| c.abs()).collect();
+
+    // Noise reference from the edge guard band.
+    let guard_bins = layout.edge_guard_bins();
+    let noise_mean: f64 = guard_bins
+        .iter()
+        .map(|&b| spectrum[layout.bin_to_fft_index(b)])
+        .sum::<f64>()
+        / guard_bins.len() as f64;
+    let gate = dec.noise_gate_factor * noise_mean;
+
+    let reports = subchannels
+        .iter()
+        .map(|&sc| {
+            let bins = layout.data_bins(sc);
+            let amps: Vec<f64> = bins
+                .iter()
+                .map(|&b| spectrum[layout.bin_to_fft_index(b)])
+                .collect();
+            let peak = amps.iter().copied().fold(0.0f64, f64::max);
+            let threshold = (dec.relative_threshold * peak).max(gate);
+            let bits: Vec<bool> = amps.iter().map(|&a| a > threshold && a > gate).collect();
+            // Edge case: if the peak itself is below the gate the client
+            // is silent (queue 0).
+            let bits = if peak <= gate { vec![false; amps.len()] } else { bits };
+            let queue = bits_to_queue(&bits);
+            SubchannelReport { subchannel: sc, bits, queue }
+        })
+        .collect();
+
+    (reports, spectrum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofdm::signalgen::{combine_at_ap, encode_queue_symbol, ClientChannel};
+    use domino_sim::rng::streams;
+    use domino_sim::SimRng;
+
+    fn setup() -> (RopSymbolConfig, SubcarrierLayout, SimRng) {
+        let cfg = RopSymbolConfig::default();
+        let layout = cfg.layout();
+        (cfg, layout, SimRng::derive(0xAB, streams::PHY_SAMPLES))
+    }
+
+    fn decode_single(
+        cfg: &RopSymbolConfig,
+        layout: &SubcarrierLayout,
+        sc: usize,
+        queue: u32,
+        chan: &ClientChannel,
+        noise: f64,
+        rng: &mut SimRng,
+    ) -> u32 {
+        let sym = encode_queue_symbol(cfg, layout, sc, queue, chan);
+        let rx = combine_at_ap(&[sym], noise, 10, rng);
+        let (reports, _) = decode_symbol(cfg, layout, &rx, &[sc], &DecoderConfig::default());
+        reports[0].queue
+    }
+
+    #[test]
+    fn clean_channel_decodes_every_queue_value() {
+        let (cfg, layout, mut rng) = setup();
+        for q in [0u32, 1, 2, 31, 32, 42, 63] {
+            let got = decode_single(&cfg, &layout, 7, q, &ClientChannel::ideal(), 0.001, &mut rng);
+            assert_eq!(got, q, "queue {q} decoded as {got}");
+        }
+    }
+
+    #[test]
+    fn all_24_clients_decoded_in_one_symbol() {
+        let (cfg, layout, mut rng) = setup();
+        let mut symbols = Vec::new();
+        let mut sent = Vec::new();
+        for sc in 0..24 {
+            let q = (sc as u32 * 7 + 3) % 64;
+            let chan = ClientChannel {
+                gain: 1.0,
+                delay_samples: (sc * 2) % 48,
+                cfo_fraction: 0.0,
+                phase: sc as f64,
+            };
+            symbols.push(encode_queue_symbol(&cfg, &layout, sc, q, &chan));
+            sent.push(q);
+        }
+        let rx = combine_at_ap(&symbols, 0.002, 10, &mut rng);
+        let all: Vec<usize> = (0..24).collect();
+        let (reports, _) = decode_symbol(&cfg, &layout, &rx, &all, &DecoderConfig::default());
+        for (r, &q) in reports.iter().zip(sent.iter()) {
+            assert_eq!(r.queue, q, "subchannel {}", r.subchannel);
+        }
+    }
+
+    #[test]
+    fn decodes_at_4db_snr() {
+        // Paper §3.1: "as long as the SNR is higher than 4 dB, an OFDM
+        // symbol can be decoded correctly".
+        let (cfg, layout, mut rng) = setup();
+        // Per-sample signal power of a 6-of-256-bin symbol: Parseval gives
+        // total time-domain energy 6/256, i.e. 6/256^2 per sample. SNR =
+        // signal / (2 sigma^2) per sample.
+        let signal_power = 6.0 / (256.0 * 256.0);
+        let snr = 10f64.powf(4.0 / 10.0);
+        let sigma = (signal_power / snr / 2.0).sqrt();
+        let mut ok = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let q = 1 + (t as u32 % 63);
+            let got = decode_single(&cfg, &layout, 3, q, &ClientChannel::ideal(), sigma, &mut rng);
+            if got == q {
+                ok += 1;
+            }
+        }
+        assert!(ok as f64 / trials as f64 > 0.95, "decode ratio {ok}/{trials} at 4 dB");
+    }
+
+    #[test]
+    fn silent_client_reports_zero_under_noise() {
+        let (cfg, layout, mut rng) = setup();
+        for _ in 0..50 {
+            let got = decode_single(&cfg, &layout, 11, 0, &ClientChannel::ideal(), 0.01, &mut rng);
+            assert_eq!(got, 0);
+        }
+    }
+
+    #[test]
+    fn thirty_db_weaker_client_without_guard_fails_sometimes() {
+        // The Fig 5b situation: adjacent subchannels, no guard bins, 30 dB
+        // RSS gap, strong CFO on the strong client. The weak client's
+        // decode must degrade (this is why ROP needs guard subcarriers).
+        let cfg = RopSymbolConfig::with_guard(0);
+        let layout = cfg.layout();
+        let mut rng = SimRng::derive(0xF16, streams::PHY_SAMPLES);
+        let mut errors = 0;
+        let trials = 100;
+        for t in 0..trials {
+            let strong = ClientChannel {
+                cfo_fraction: super::super::signalgen::RESIDUAL_CFO_MAX_FRACTION,
+                ..ClientChannel::ideal()
+            };
+            let weak = ClientChannel {
+                gain: 10f64.powf(-30.0 / 20.0),
+                ..ClientChannel::ideal()
+            };
+            let q_weak = 1 + (t as u32 % 63);
+            let s0 = encode_queue_symbol(&cfg, &layout, 0, 63, &strong);
+            let s1 = encode_queue_symbol(&cfg, &layout, 1, q_weak, &weak);
+            let rx = combine_at_ap(&[s0, s1], 1e-4, 10, &mut rng);
+            let (reports, _) = decode_symbol(&cfg, &layout, &rx, &[1], &DecoderConfig::default());
+            if reports[0].queue != q_weak {
+                errors += 1;
+            }
+        }
+        assert!(errors > trials / 4, "expected heavy corruption, got {errors}/{trials}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong symbol length")]
+    fn wrong_length_panics() {
+        let (cfg, layout, _) = setup();
+        let samples = vec![Complex::ZERO; 100];
+        let _ = decode_symbol(&cfg, &layout, &samples, &[0], &DecoderConfig::default());
+    }
+}

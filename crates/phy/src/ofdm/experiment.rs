@@ -1,0 +1,248 @@
+//! The paper's ROP microbenchmarks (Fig 5, Fig 6, and the SNR floor).
+//!
+//! These sample-level experiments calibrate the abstract ROP success model
+//! used by the network simulator (`domino-mac::rop`): two clients on
+//! adjacent subchannels, swept over RSS difference and number of guard
+//! subcarriers.
+
+use super::decoder::{decode_symbol, DecoderConfig};
+use super::signalgen::{combine_at_ap, encode_queue_symbol, ClientChannel, RESIDUAL_CFO_MAX_FRACTION};
+use super::RopSymbolConfig;
+use domino_sim::rng::streams;
+use domino_sim::SimRng;
+
+/// The three received-spectrum snapshots of the paper's Fig 5.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpectrumScenario {
+    /// Fig 5a: adjacent subchannels, no guard, similar RSS.
+    SimilarRssNoGuard,
+    /// Fig 5b: adjacent subchannels, no guard, 30 dB RSS difference.
+    Unequal30DbNoGuard,
+    /// Fig 5c: adjacent subchannels separated by 3 guard bins, 30 dB
+    /// difference.
+    Unequal30DbWithGuard,
+}
+
+impl SpectrumScenario {
+    /// Guard subcarriers used in this scenario.
+    pub fn guard(self) -> usize {
+        match self {
+            SpectrumScenario::SimilarRssNoGuard | SpectrumScenario::Unequal30DbNoGuard => 0,
+            SpectrumScenario::Unequal30DbWithGuard => 3,
+        }
+    }
+
+    /// RSS difference between the two clients in dB.
+    pub fn rss_diff_db(self) -> f64 {
+        match self {
+            SpectrumScenario::SimilarRssNoGuard => 0.0,
+            _ => 30.0,
+        }
+    }
+}
+
+/// Synthesize one Fig 5 snapshot and return `(bin, amplitude)` pairs for
+/// the region around the two subchannels (signed logical bins).
+///
+/// Client 1 (strong) sends `111111`, client 2 sends `011111` as in the
+/// paper's Fig 5a, so the first subcarrier of subchannel 2 shows the
+/// interference floor.
+pub fn received_spectrum(scenario: SpectrumScenario, seed: u64) -> Vec<(i32, f64)> {
+    let cfg = RopSymbolConfig::with_guard(scenario.guard());
+    let layout = cfg.layout();
+    let mut rng = SimRng::derive(seed, streams::PHY_SAMPLES);
+
+    let strong = ClientChannel {
+        cfo_fraction: 0.9 * RESIDUAL_CFO_MAX_FRACTION,
+        phase: 0.3,
+        ..ClientChannel::ideal()
+    };
+    let weak = ClientChannel {
+        gain: 10f64.powf(-scenario.rss_diff_db() / 20.0),
+        cfo_fraction: 0.2 * RESIDUAL_CFO_MAX_FRACTION,
+        phase: 1.1,
+        ..ClientChannel::ideal()
+    };
+
+    let s1 = encode_queue_symbol(&cfg, &layout, 0, 0b111111, &strong);
+    let s2 = encode_queue_symbol(&cfg, &layout, 1, 0b011111, &weak);
+    let rx = combine_at_ap(&[s1, s2], 1e-4, 10, &mut rng);
+    let (_, spectrum) = decode_symbol(&cfg, &layout, &rx, &[0, 1], &DecoderConfig::default());
+
+    // Report bins from DC out past the second subchannel.
+    let last_bin = *layout.data_bins(1).last().unwrap() + 4;
+    (1..=last_bin)
+        .map(|b| (b, spectrum[layout.bin_to_fft_index(b)]))
+        .collect()
+}
+
+/// One cell of the Fig 6 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardSweepPoint {
+    /// Number of guard subcarriers between the subchannels.
+    pub guard: usize,
+    /// RSS difference in dB (strong minus weak).
+    pub rss_diff_db: f64,
+    /// Fraction of trials in which the weak client's queue decoded
+    /// correctly.
+    pub decode_ratio: f64,
+}
+
+/// Run the Fig 6 experiment: decode ratio of the weaker of two adjacent
+/// clients, for each guard count and RSS difference.
+pub fn guard_sweep(
+    guards: &[usize],
+    rss_diffs_db: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<GuardSweepPoint> {
+    let mut out = Vec::with_capacity(guards.len() * rss_diffs_db.len());
+    for &g in guards {
+        let cfg = RopSymbolConfig::with_guard(g);
+        let layout = cfg.layout();
+        for &diff in rss_diffs_db {
+            let mut rng = SimRng::derive(
+                seed ^ (g as u64) << 32 ^ (diff as u64),
+                streams::PHY_SAMPLES,
+            );
+            let mut correct = 0usize;
+            for _ in 0..trials {
+                let strong = ClientChannel::random(0.0, &mut rng);
+                let weak = ClientChannel::random(-diff, &mut rng);
+                let q_strong = rng.below(64) as u32;
+                let q_weak = 1 + rng.below(63) as u32;
+                let s0 = encode_queue_symbol(&cfg, &layout, 0, q_strong, &strong);
+                let s1 = encode_queue_symbol(&cfg, &layout, 1, q_weak, &weak);
+                let rx = combine_at_ap(&[s0, s1], 1e-4, 10, &mut rng);
+                let (reports, _) =
+                    decode_symbol(&cfg, &layout, &rx, &[1], &DecoderConfig::default());
+                if reports[0].queue == q_weak {
+                    correct += 1;
+                }
+            }
+            out.push(GuardSweepPoint {
+                guard: g,
+                rss_diff_db: diff,
+                decode_ratio: correct as f64 / trials as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Decode ratio as a function of SNR for a lone client (the paper's
+/// "SNR ≥ 4 dB suffices" claim).
+pub fn snr_sweep(snrs_db: &[f64], trials: usize, seed: u64) -> Vec<(f64, f64)> {
+    let cfg = RopSymbolConfig::default();
+    let layout = cfg.layout();
+    // Per-sample signal power (Parseval: 6 unit bins over a 256-point
+    // transform spread the energy as 6/256^2 per sample).
+    let signal_power = cfg.data_per_subchannel as f64 / (cfg.n_fft * cfg.n_fft) as f64;
+    snrs_db
+        .iter()
+        .map(|&snr_db| {
+            let mut rng = SimRng::derive(seed ^ snr_db.to_bits(), streams::PHY_SAMPLES);
+            let sigma = (signal_power / 10f64.powf(snr_db / 10.0) / 2.0).sqrt();
+            let mut correct = 0usize;
+            for _ in 0..trials {
+                let q = 1 + rng.below(63) as u32;
+                let chan = ClientChannel::random(0.0, &mut rng);
+                let sym = encode_queue_symbol(&cfg, &layout, 4, q, &chan);
+                let rx = combine_at_ap(&[sym], sigma, 10, &mut rng);
+                let (reports, _) =
+                    decode_symbol(&cfg, &layout, &rx, &[4], &DecoderConfig::default());
+                if reports[0].queue == q {
+                    correct += 1;
+                }
+            }
+            (snr_db, correct as f64 / trials as f64)
+        })
+        .collect()
+}
+
+/// The calibrated "tolerable RSS difference" per guard count that the
+/// network simulator's ROP model uses: the largest swept difference at
+/// which the decode ratio stays ≥ 95 %.
+pub fn tolerance_db(guard: usize, trials: usize, seed: u64) -> f64 {
+    let diffs: Vec<f64> = (0..=8).map(|i| 10.0 + 4.0 * i as f64).collect();
+    let points = guard_sweep(&[guard], &diffs, trials, seed);
+    points
+        .iter()
+        .filter(|p| p.decode_ratio >= 0.95)
+        .map(|p| p.rss_diff_db)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_similar_rss_both_subchannels_clean() {
+        let spec = received_spectrum(SpectrumScenario::SimilarRssNoGuard, 1);
+        // Bins 1..6 (subchannel 0, all ones) and 8..12 (subchannel 1,
+        // bits 11111 after the leading 0 at bin 7) are strong.
+        let amp = |bin: i32| spec.iter().find(|(b, _)| *b == bin).unwrap().1;
+        for b in 1..=6 {
+            assert!(amp(b) > 0.5, "bin {b}");
+        }
+        assert!(amp(7) < 0.5 * amp(8), "zero bit should stay low");
+        for b in 8..=12 {
+            assert!(amp(b) > 0.5, "bin {b}");
+        }
+    }
+
+    #[test]
+    fn fig5b_strong_neighbour_buries_weak_edge() {
+        let spec = received_spectrum(SpectrumScenario::Unequal30DbNoGuard, 2);
+        let amp = |bin: i32| spec.iter().find(|(b, _)| *b == bin).unwrap().1;
+        // The weak client's amplitude scale.
+        let weak_ref = amp(12);
+        // Leakage at the weak subchannel's first bins rivals or exceeds
+        // the weak signal.
+        assert!(
+            amp(7) > 0.5 * weak_ref,
+            "expected leakage at bin 7: leak={} weak={}",
+            amp(7),
+            weak_ref
+        );
+    }
+
+    #[test]
+    fn fig5c_guard_bins_protect_weak_subchannel() {
+        let spec = received_spectrum(SpectrumScenario::Unequal30DbWithGuard, 3);
+        let amp = |bin: i32| spec.iter().find(|(b, _)| *b == bin).unwrap().1;
+        // With 3 guard bins subchannel 1 starts at bin 10; its first data
+        // bin is the zero bit and must now sit well below the one-bits.
+        let weak_ref = amp(15);
+        assert!(
+            amp(10) < 0.6 * weak_ref,
+            "zero bit still corrupted: {} vs {}",
+            amp(10),
+            weak_ref
+        );
+    }
+
+    #[test]
+    fn guard_sweep_matches_paper_tolerances() {
+        // Paper Fig 6: 3 guard subcarriers tolerate RSS differences up to
+        // ~38 dB; fewer guards break earlier; more guards never hurt.
+        let t0 = tolerance_db(0, 60, 77);
+        let t1 = tolerance_db(1, 60, 77);
+        let t3 = tolerance_db(3, 60, 77);
+        let t4 = tolerance_db(4, 60, 77);
+        assert!(t0 <= 22.0, "guard 0 tolerance too high: {t0}");
+        assert!(t1 >= t0, "guard 1 ({t1}) worse than guard 0 ({t0})");
+        assert!(t3 >= 34.0, "guard 3 tolerance too low: {t3}");
+        assert!(t4 >= t3 - 4.0, "guard 4 ({t4}) much worse than guard 3 ({t3})");
+    }
+
+    #[test]
+    fn snr_floor_near_4db() {
+        let pts = snr_sweep(&[0.0, 4.0, 8.0], 100, 5);
+        let ratio = |snr: f64| pts.iter().find(|(s, _)| *s == snr).unwrap().1;
+        assert!(ratio(4.0) > 0.9, "4 dB should decode: {}", ratio(4.0));
+        assert!(ratio(8.0) > 0.98);
+        assert!(ratio(0.0) < ratio(8.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Subcarrier-to-subchannel mapping (paper Fig 3).
+//!
+//! The 256 FFT bins are split as in 802.11: the DC bin is unused, the band
+//! edges carry a 39-bin guard band (19 on the positive-frequency edge, 20
+//! on the negative edge, mirroring 802.11's 11-of-64 proportion), and the
+//! remainder holds 24 subchannels of 6 data subcarriers, each followed by
+//! `guard_subcarriers` empty bins. Subchannels 0..11 occupy the positive
+//! frequencies outward from DC; subchannels 12..23 mirror them on the
+//! negative side, exactly as Fig 3 draws them.
+
+use super::RopSymbolConfig;
+
+/// Edge guard bins on the positive-frequency side (the negative side has
+/// one more, absorbed by the unusable Nyquist bin).
+const EDGE_GUARD_POS: usize = 19;
+
+/// Resolved mapping from subchannel index to FFT bins.
+#[derive(Clone, Debug)]
+pub struct SubcarrierLayout {
+    n_fft: usize,
+    data_per_subchannel: usize,
+    block: usize,
+    per_side: usize,
+}
+
+impl SubcarrierLayout {
+    /// Compute the layout for a symbol configuration.
+    pub fn new(cfg: &RopSymbolConfig) -> SubcarrierLayout {
+        assert!(cfg.n_fft.is_power_of_two() && cfg.n_fft >= 64);
+        assert!(cfg.data_per_subchannel >= 1);
+        let block = cfg.data_per_subchannel + cfg.guard_subcarriers;
+        let usable_per_side = cfg.n_fft / 2 - 1 - EDGE_GUARD_POS;
+        let per_side = usable_per_side / block;
+        assert!(per_side >= 1, "configuration leaves no room for subchannels");
+        SubcarrierLayout {
+            n_fft: cfg.n_fft,
+            data_per_subchannel: cfg.data_per_subchannel,
+            block,
+            per_side,
+        }
+    }
+
+    /// Total number of assignable subchannels.
+    #[inline]
+    pub fn num_subchannels(&self) -> usize {
+        self.per_side * 2
+    }
+
+    /// Signed logical bin indices (…, -2, -1, 1, 2, …) of the data
+    /// subcarriers of `subchannel`, ordered from the most significant bit
+    /// outward from DC.
+    ///
+    /// Panics if `subchannel >= num_subchannels()`.
+    pub fn data_bins(&self, subchannel: usize) -> Vec<i32> {
+        assert!(subchannel < self.num_subchannels(), "subchannel {subchannel} out of range");
+        let (side, idx) = if subchannel < self.per_side {
+            (1i32, subchannel)
+        } else {
+            (-1i32, subchannel - self.per_side)
+        };
+        let start = 1 + idx * self.block;
+        (0..self.data_per_subchannel)
+            .map(|k| side * (start + k) as i32)
+            .collect()
+    }
+
+    /// Convert a signed logical bin index to the FFT array index.
+    #[inline]
+    pub fn bin_to_fft_index(&self, bin: i32) -> usize {
+        let n = self.n_fft as i32;
+        assert!(bin > -n / 2 && bin < n / 2 && bin != 0, "bin {bin} invalid");
+        if bin >= 0 {
+            bin as usize
+        } else {
+            (n + bin) as usize
+        }
+    }
+
+    /// Signed bins of the band-edge guard, used by the decoder as a noise
+    /// reference (no subchannel ever transmits there).
+    pub fn edge_guard_bins(&self) -> Vec<i32> {
+        let n = self.n_fft as i32;
+        let pos_start = (1 + self.per_side * self.block) as i32;
+        let mut bins: Vec<i32> = (pos_start..n / 2).collect();
+        bins.extend((-(n / 2 - 1)..=-pos_start).rev());
+        bins
+    }
+
+    /// Minimum bin distance between the data subcarriers of two adjacent
+    /// subchannels (= guard_subcarriers + 1).
+    pub fn adjacent_separation(&self) -> usize {
+        self.block - self.data_per_subchannel + 1
+    }
+
+    /// The FFT size this layout was built for.
+    #[inline]
+    pub fn n_fft(&self) -> usize {
+        self.n_fft
+    }
+
+    /// Data subcarriers per subchannel.
+    #[inline]
+    pub fn data_per_subchannel(&self) -> usize {
+        self.data_per_subchannel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_layout_matches_fig3() {
+        let layout = RopSymbolConfig::default().layout();
+        assert_eq!(layout.num_subchannels(), 24);
+        // Subchannel 0 starts right next to DC.
+        assert_eq!(layout.data_bins(0), vec![1, 2, 3, 4, 5, 6]);
+        // Subchannel 1 is separated by 3 guard bins.
+        assert_eq!(layout.data_bins(1)[0], 10);
+        // Subchannel 12 mirrors subchannel 0 on the negative side.
+        assert_eq!(layout.data_bins(12), vec![-1, -2, -3, -4, -5, -6]);
+        // The outermost positive subchannel's data ends at bin 105 (its
+        // trailing guards reach 108). The paper's 39-bin guard band is the
+        // 19 bins at 109..=127, the 19 at -109..=-127, and the unusable
+        // Nyquist bin (±128); `edge_guard_bins` returns the 38 addressable
+        // ones.
+        assert_eq!(*layout.data_bins(11).last().unwrap(), 105);
+        assert_eq!(layout.edge_guard_bins().len(), 38);
+    }
+
+    #[test]
+    fn no_bin_shared_between_subchannels() {
+        let layout = RopSymbolConfig::default().layout();
+        let mut seen = HashSet::new();
+        for s in 0..layout.num_subchannels() {
+            for b in layout.data_bins(s) {
+                assert!(seen.insert(b), "bin {b} assigned twice");
+            }
+        }
+        // DC never assigned.
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn guard_bins_disjoint_from_data() {
+        let layout = RopSymbolConfig::default().layout();
+        let data: HashSet<i32> = (0..layout.num_subchannels())
+            .flat_map(|s| layout.data_bins(s))
+            .collect();
+        for g in layout.edge_guard_bins() {
+            assert!(!data.contains(&g), "edge bin {g} overlaps data");
+        }
+    }
+
+    #[test]
+    fn fft_index_round_trip() {
+        let layout = RopSymbolConfig::default().layout();
+        assert_eq!(layout.bin_to_fft_index(1), 1);
+        assert_eq!(layout.bin_to_fft_index(-1), 255);
+        assert_eq!(layout.bin_to_fft_index(108), 108);
+        assert_eq!(layout.bin_to_fft_index(-108), 148);
+    }
+
+    #[test]
+    fn guard_count_controls_separation() {
+        for g in 0..=4 {
+            let layout = RopSymbolConfig::with_guard(g).layout();
+            assert_eq!(layout.adjacent_separation(), g + 1);
+            let a = layout.data_bins(0);
+            let b = layout.data_bins(1);
+            assert_eq!((b[0] - a[a.len() - 1]) as usize, g + 1);
+        }
+    }
+
+    #[test]
+    fn zero_guard_layout_fits_more_subchannels() {
+        let layout = RopSymbolConfig::with_guard(0).layout();
+        assert!(layout.num_subchannels() >= 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_subchannel_panics() {
+        let layout = RopSymbolConfig::default().layout();
+        let _ = layout.data_bins(24);
+    }
+}

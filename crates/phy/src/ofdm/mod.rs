@@ -1,0 +1,127 @@
+//! Rapid OFDM Polling (ROP) physical layer.
+//!
+//! ROP (paper §3.1) collects the queue length of every client of an AP in a
+//! single special OFDM symbol: each client is assigned a private
+//! *subchannel* of 6 data subcarriers and answers a polling packet by
+//! modulating its 6-bit queue length with 2-ASK, one standard slot after
+//! the poll. The AP takes one FFT and reads all queues at once.
+//!
+//! The symbol parameters are the paper's Table 1:
+//!
+//! | parameter                | WiFi  | ROP   |
+//! |--------------------------|-------|-------|
+//! | number of subcarriers    | 64    | 256   |
+//! | subcarriers per subchannel | –   | 6     |
+//! | guard subcarriers        | –     | 3     |
+//! | number of subchannels    | –     | 24    |
+//! | CP duration              | 0.8 µs| 3.2 µs|
+//! | symbol duration          | 4 µs  | 16 µs |
+//!
+//! Submodules:
+//! * [`layout`] — subcarrier-to-subchannel mapping (paper Fig 3),
+//! * [`signalgen`] — client-side symbol synthesis and channel impairments,
+//! * [`decoder`] — AP-side FFT demodulation and bit decisions,
+//! * [`experiment`] — the Fig 5 / Fig 6 sample-level experiments that
+//!   calibrate `domino-mac`'s ROP success model.
+
+pub mod decoder;
+pub mod experiment;
+pub mod layout;
+pub mod signalgen;
+
+pub use decoder::{decode_symbol, DecoderConfig};
+pub use experiment::{guard_sweep, received_spectrum, GuardSweepPoint, SpectrumScenario};
+pub use layout::SubcarrierLayout;
+pub use signalgen::{encode_queue_symbol, ClientChannel, combine_at_ap};
+
+/// Sample rate of the ROP symbol: 256 subcarriers in a 12.8 µs FFT period
+/// is 20 Msps, the full 802.11 channel bandwidth.
+pub const SAMPLE_RATE_HZ: f64 = 20e6;
+
+/// Subcarrier spacing: 20 MHz / 256 = 78.125 kHz.
+pub const SUBCARRIER_SPACING_HZ: f64 = SAMPLE_RATE_HZ / 256.0;
+
+/// Configuration of the ROP control symbol (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RopSymbolConfig {
+    /// FFT size (number of subcarriers).
+    pub n_fft: usize,
+    /// Data subcarriers per client subchannel.
+    pub data_per_subchannel: usize,
+    /// Guard subcarriers separating adjacent subchannels.
+    pub guard_subcarriers: usize,
+    /// Cyclic-prefix length in samples.
+    pub cp_len: usize,
+}
+
+impl Default for RopSymbolConfig {
+    /// The paper's Table 1 values.
+    fn default() -> Self {
+        RopSymbolConfig {
+            n_fft: 256,
+            data_per_subchannel: 6,
+            guard_subcarriers: 3,
+            cp_len: 64, // 3.2 us at 20 Msps
+        }
+    }
+}
+
+impl RopSymbolConfig {
+    /// Same as default but with a different number of guard subcarriers
+    /// (used by the Fig 6 sweep).
+    pub fn with_guard(guard_subcarriers: usize) -> Self {
+        RopSymbolConfig { guard_subcarriers, ..Self::default() }
+    }
+
+    /// Cyclic-prefix duration in microseconds.
+    pub fn cp_duration_us(&self) -> f64 {
+        self.cp_len as f64 / SAMPLE_RATE_HZ * 1e6
+    }
+
+    /// Total symbol duration (CP + FFT period) in microseconds.
+    pub fn symbol_duration_us(&self) -> f64 {
+        (self.cp_len + self.n_fft) as f64 / SAMPLE_RATE_HZ * 1e6
+    }
+
+    /// Largest queue length a subchannel can report: 2^bits - 1.
+    pub fn max_queue_report(&self) -> u32 {
+        (1u32 << self.data_per_subchannel) - 1
+    }
+
+    /// The subcarrier layout induced by this configuration.
+    pub fn layout(&self) -> SubcarrierLayout {
+        SubcarrierLayout::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        let cfg = RopSymbolConfig::default();
+        assert_eq!(cfg.n_fft, 256);
+        assert_eq!(cfg.data_per_subchannel, 6);
+        assert_eq!(cfg.guard_subcarriers, 3);
+        assert!((cfg.cp_duration_us() - 3.2).abs() < 1e-12);
+        assert!((cfg.symbol_duration_us() - 16.0).abs() < 1e-12);
+        assert_eq!(cfg.layout().num_subchannels(), 24);
+        assert_eq!(cfg.max_queue_report(), 63);
+    }
+
+    #[test]
+    fn subcarrier_spacing() {
+        assert!((SUBCARRIER_SPACING_HZ - 78_125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wifi_comparison_row() {
+        // The WiFi column of Table 1: 64 subcarriers, 0.8 us CP, 4 us
+        // symbol at the same 20 Msps.
+        let wifi_cp_us = 16.0 / SAMPLE_RATE_HZ * 1e6;
+        let wifi_sym_us = (16.0 + 64.0) / SAMPLE_RATE_HZ * 1e6;
+        assert!((wifi_cp_us - 0.8).abs() < 1e-12);
+        assert!((wifi_sym_us - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Large-scale propagation: log-distance path loss with shadowing.
+//!
+//! Used for two purposes in the reproduction:
+//! * generating the synthetic 40-node RSS trace that replaces the paper's
+//!   two-building measurement campaign (`domino-topology::trace`), and
+//! * the Fig 14 random-placement experiment, where the paper itself
+//!   switches from the trace to "the default path loss model in ns3".
+//!
+//! The model is ns-3's `LogDistancePropagationLossModel` shape:
+//! `PL(d) = PL(d0) + 10·n·log10(d/d0) (+ shadowing)`, with a 2.4 GHz Friis
+//! reference loss at 1 m.
+
+use crate::units::{Db, Dbm};
+
+/// Log-distance path-loss model.
+#[derive(Clone, Copy, Debug)]
+pub struct LogDistanceModel {
+    /// Reference distance in meters.
+    pub reference_distance_m: f64,
+    /// Path loss at the reference distance.
+    pub reference_loss: Db,
+    /// Path-loss exponent.
+    pub exponent: f64,
+}
+
+impl LogDistanceModel {
+    /// ns-3's default: exponent 3.0, 46.68 dB at 1 m (Friis at 2.4 GHz).
+    pub fn ns3_default() -> LogDistanceModel {
+        LogDistanceModel {
+            reference_distance_m: 1.0,
+            reference_loss: Db(46.68),
+            exponent: 3.0,
+        }
+    }
+
+    /// Indoor office variant used for the synthetic trace: slightly
+    /// steeper decay to create distinct collision domains within a
+    /// building.
+    pub fn indoor() -> LogDistanceModel {
+        LogDistanceModel {
+            reference_distance_m: 1.0,
+            reference_loss: Db(46.68),
+            exponent: 3.3,
+        }
+    }
+
+    /// Path loss at distance `d_m` meters (clamped to the reference
+    /// distance, as in ns-3).
+    pub fn loss(&self, d_m: f64) -> Db {
+        assert!(d_m.is_finite() && d_m >= 0.0, "invalid distance {d_m}");
+        let d = d_m.max(self.reference_distance_m);
+        Db(self.reference_loss.value()
+            + 10.0 * self.exponent * (d / self.reference_distance_m).log10())
+    }
+
+    /// Received signal strength for a transmit power and distance.
+    pub fn rss(&self, tx_power: Dbm, d_m: f64) -> Dbm {
+        tx_power - self.loss(d_m)
+    }
+}
+
+/// Standard transmit power used throughout the reproduction (typical
+/// enterprise AP/client setting).
+pub fn default_tx_power() -> Dbm {
+    Dbm(18.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = LogDistanceModel::ns3_default();
+        let mut prev = m.loss(1.0).value();
+        for d in [2.0, 5.0, 10.0, 50.0, 200.0] {
+            let l = m.loss(d).value();
+            assert!(l > prev, "loss not monotone at {d} m");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn reference_point() {
+        let m = LogDistanceModel::ns3_default();
+        assert!((m.loss(1.0).value() - 46.68).abs() < 1e-9);
+        // 10x distance at exponent 3 = +30 dB.
+        assert!((m.loss(10.0).value() - 76.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_reference_clamps() {
+        let m = LogDistanceModel::ns3_default();
+        assert_eq!(m.loss(0.1).value(), m.loss(1.0).value());
+        assert_eq!(m.loss(0.0).value(), m.loss(1.0).value());
+    }
+
+    #[test]
+    fn rss_at_typical_office_range() {
+        let m = LogDistanceModel::ns3_default();
+        let rss = m.rss(default_tx_power(), 30.0);
+        // 18 - (46.68 + 30*log10(30)) = 18 - 90.99 ≈ -73 dBm: a healthy
+        // in-range office link.
+        assert!((rss.value() + 73.0).abs() < 0.1, "rss={rss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn negative_distance_panics() {
+        let _ = LogDistanceModel::ns3_default().loss(-1.0);
+    }
+}

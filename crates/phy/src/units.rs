@@ -1,0 +1,210 @@
+//! Power and ratio units: dB, dBm, milliwatts.
+//!
+//! RSS matrices, noise floors and SINR thresholds throughout the
+//! reproduction are expressed in these newtypes so that linear and
+//! logarithmic quantities cannot be mixed up silently.
+
+use core::fmt;
+use core::ops::{Add, Neg, Sub};
+
+/// A power ratio in decibels.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Db(pub f64);
+
+/// An absolute power level in dB-milliwatts.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Dbm(pub f64);
+
+impl Db {
+    /// Zero gain.
+    pub const ZERO: Db = Db(0.0);
+
+    /// Convert a linear power ratio to dB. Panics on non-positive input.
+    pub fn from_linear(ratio: f64) -> Db {
+        assert!(ratio > 0.0, "dB of non-positive ratio");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Linear power ratio.
+    #[inline]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Raw dB value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Dbm {
+    /// A conventional "no signal" level far below any noise floor.
+    pub const FLOOR: Dbm = Dbm(-300.0);
+
+    /// Convert from linear milliwatts. Panics on non-positive input.
+    pub fn from_milliwatts(mw: f64) -> Dbm {
+        assert!(mw > 0.0, "dBm of non-positive power");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Linear power in milliwatts.
+    #[inline]
+    pub fn to_milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Raw dBm value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Sum of two absolute powers (adds in the linear domain).
+    pub fn power_sum(self, other: Dbm) -> Dbm {
+        Dbm::from_milliwatts(self.to_milliwatts() + other.to_milliwatts())
+    }
+
+    /// Sum an iterator of absolute powers in the linear domain.
+    ///
+    /// Returns [`Dbm::FLOOR`] for an empty iterator.
+    pub fn power_sum_all<I: IntoIterator<Item = Dbm>>(powers: I) -> Dbm {
+        let total: f64 = powers.into_iter().map(|p| p.to_milliwatts()).sum();
+        if total <= 0.0 {
+            Dbm::FLOOR
+        } else {
+            Dbm::from_milliwatts(total)
+        }
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    #[inline]
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    #[inline]
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+/// Thermal noise floor for a bandwidth in Hz at ~290 K with a typical 7 dB
+/// receiver noise figure: -174 dBm/Hz + 10·log10(B) + NF.
+pub fn noise_floor(bandwidth_hz: f64) -> Dbm {
+    assert!(bandwidth_hz > 0.0);
+    Dbm(-174.0 + 10.0 * bandwidth_hz.log10() + 7.0)
+}
+
+/// The 20 MHz 802.11 channel noise floor used throughout the reproduction.
+///
+/// -174 + 10·log10(20e6) + 7 ≈ -94 dBm. (DESIGN.md quotes the pre-NF value
+/// of about -101 dBm; all thresholds in this workspace are calibrated
+/// against this constant.)
+pub fn wifi_noise_floor() -> Dbm {
+    noise_floor(20e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        assert!(close(Db(3.0).to_linear(), 1.995, 0.01));
+        assert!(close(Db::from_linear(100.0).value(), 20.0, 1e-9));
+        assert!(close(Db::from_linear(Db(-7.5).to_linear()).value(), -7.5, 1e-9));
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        assert!(close(Dbm(0.0).to_milliwatts(), 1.0, 1e-12));
+        assert!(close(Dbm(20.0).to_milliwatts(), 100.0, 1e-9));
+        assert!(close(Dbm::from_milliwatts(0.001).value(), -30.0, 1e-9));
+    }
+
+    #[test]
+    fn power_sum_of_equal_powers_adds_3db() {
+        let s = Dbm(-60.0).power_sum(Dbm(-60.0));
+        assert!(close(s.value(), -56.99, 0.02));
+    }
+
+    #[test]
+    fn power_sum_dominated_by_stronger() {
+        let s = Dbm(-50.0).power_sum(Dbm(-90.0));
+        assert!(close(s.value(), -50.0, 0.001));
+    }
+
+    #[test]
+    fn power_sum_all_handles_empty() {
+        assert_eq!(Dbm::power_sum_all(std::iter::empty()), Dbm::FLOOR);
+        let s = Dbm::power_sum_all([Dbm(-60.0), Dbm(-60.0), Dbm(-60.0)]);
+        assert!(close(s.value(), -55.23, 0.02));
+    }
+
+    #[test]
+    fn arithmetic_mixes_units_correctly() {
+        let rss = Dbm(-40.0) - Db(30.0); // tx power minus path loss
+        assert!(close(rss.value(), -70.0, 1e-12));
+        let snr = rss - Dbm(-94.0); // rss minus noise = ratio
+        assert!(close(snr.value(), 24.0, 1e-12));
+    }
+
+    #[test]
+    fn noise_floor_20mhz() {
+        assert!(close(wifi_noise_floor().value(), -93.99, 0.05));
+    }
+}

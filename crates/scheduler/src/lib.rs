@@ -1,0 +1,26 @@
+//! # domino-scheduler
+//!
+//! The central controller's scheduling machinery for the DOMINO
+//! (CoNEXT'13) reproduction: schedule types ([`schedule`]), the
+//! RAND-style greedy slot scheduler with fairness rotation
+//! ([`rand_scheduler`], paper §4.2.1), the §3.3 strict→relative schedule
+//! converter — fake-link insertion, ROP-slot insertion, trigger
+//! assignment under the inbound ≤ 2 / outbound ≤ 4 constraints, and batch
+//! connection ([`converter`]) — the controller's stale-tolerant backlog
+//! view fed by ROP reports ([`backlog`]), and the §5 energy-saving sleep
+//! planner ([`sleep`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backlog;
+pub mod converter;
+pub mod rand_scheduler;
+pub mod sleep;
+pub mod schedule;
+
+pub use backlog::BacklogView;
+pub use converter::{ConversionOutcome, Converter, ConverterConfig};
+pub use rand_scheduler::RandScheduler;
+pub use sleep::{plan_batch, SleepPlan};
+pub use schedule::{BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule};

@@ -1,0 +1,192 @@
+//! Sleep planning (paper §5, "Energy saving").
+//!
+//! "It is straightforward to implement energy saving mechanism in
+//! DOMINO. For example, the server can schedule an energy constraint
+//! device to sleep for a duration within which it does not need to send
+//! or receive packets." Because the controller knows the whole relative
+//! schedule, it can tell each client exactly which slots involve it —
+//! as a participant of an exchange, a trigger target, or a poll
+//! responder — and let it doze through the rest.
+
+use crate::schedule::RelativeBatch;
+use domino_topology::{Network, NodeId};
+
+/// One node's activity map over a batch: `awake[i]` says whether the
+/// node must be listening/transmitting during batch slot `i`.
+#[derive(Clone, Debug)]
+pub struct SleepPlan {
+    /// The planned node.
+    pub node: NodeId,
+    /// Awake flags, one per batch slot.
+    pub awake: Vec<bool>,
+}
+
+impl SleepPlan {
+    /// Fraction of the batch the node may sleep through.
+    pub fn sleep_fraction(&self) -> f64 {
+        if self.awake.is_empty() {
+            return 0.0;
+        }
+        let asleep = self.awake.iter().filter(|&&a| !a).count();
+        asleep as f64 / self.awake.len() as f64
+    }
+}
+
+/// Compute the sleep plan of every *client* for a converted batch.
+///
+/// A client must be awake in slot `i` when it is an endpoint of one of
+/// the slot's links, a target of the slot's outgoing bursts (it is about
+/// to be triggered), or its AP polls at the boundary after the slot.
+/// APs are always awake (they run the schedule).
+pub fn plan_batch(net: &Network, batch: &RelativeBatch) -> Vec<SleepPlan> {
+    let n_slots = batch.slots.len();
+    net.nodes()
+        .iter()
+        .filter(|n| !n.is_ap())
+        .map(|client| {
+            let id = client.id;
+            let ap = client.associated_ap.expect("client has an AP");
+            let awake: Vec<bool> = (0..n_slots)
+                .map(|i| {
+                    let slot = &batch.slots[i];
+                    let endpoint = slot.entries.iter().any(|e| {
+                        let l = net.link(e.link);
+                        l.sender == id || l.receiver == id
+                    });
+                    let targeted =
+                        slot.bursts.iter().any(|b| b.targets.contains(&id));
+                    let prev_targeted = if i == 0 {
+                        batch.connecting_bursts.iter().any(|b| b.targets.contains(&id))
+                    } else {
+                        false
+                    };
+                    let polled = slot
+                        .rop_after
+                        .as_ref()
+                        .is_some_and(|r| r.aps.contains(&ap))
+                        || (i == 0
+                            && batch
+                                .connecting_rop
+                                .as_ref()
+                                .is_some_and(|r| r.aps.contains(&ap)));
+                    endpoint || targeted || prev_targeted || polled
+                })
+                .collect();
+            SleepPlan { node: id, awake }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converter::{Converter, ConverterConfig};
+    use crate::rand_scheduler::RandScheduler;
+    use crate::schedule::StrictSchedule;
+    use domino_topology::presets::fig7;
+    use domino_topology::{ConflictGraph, Direction, PhyParams};
+
+    fn batch(poll: bool) -> (Network, RelativeBatch) {
+        let net = fig7(PhyParams::default());
+        let graph = ConflictGraph::build(&net);
+        let mut sched = RandScheduler::new(net.links().len());
+        // Only the first pair's downlink has traffic; without fake links
+        // the other pairs' clients can sleep.
+        let mut backlog = vec![0u32; net.links().len()];
+        backlog[0] = 4;
+        let strict: StrictSchedule = sched.schedule_batch(&graph, &mut backlog, 4);
+        let cfg = ConverterConfig {
+            insert_fake_links: false,
+            insert_rop: poll,
+            ..ConverterConfig::default()
+        };
+        let mut conv = Converter::new(cfg);
+        let aps = if poll { net.aps() } else { Vec::new() };
+        let outcome = conv.convert(&net, &graph, &strict, &aps);
+        (net, outcome.batch)
+    }
+
+    #[test]
+    fn uninvolved_clients_sleep_through_the_batch() {
+        let (net, b) = batch(false);
+        let plans = plan_batch(&net, &b);
+        // Client 1 (pair 1) is busy every slot; the other three sleep.
+        let p1 = plans.iter().find(|p| p.node.0 == 1).unwrap();
+        assert_eq!(p1.sleep_fraction(), 0.0);
+        for other in [3u32, 5, 7] {
+            let p = plans.iter().find(|p| p.node.0 == other).unwrap();
+            assert_eq!(
+                p.sleep_fraction(),
+                1.0,
+                "client {other} should sleep the whole batch"
+            );
+        }
+    }
+
+    #[test]
+    fn polling_keeps_clients_awake_for_their_rop_slot() {
+        let (net, b) = batch(true);
+        let plans = plan_batch(&net, &b);
+        // Any client whose AP polls inside the batch must wake for at
+        // least that slot.
+        let polled_aps: Vec<NodeId> = b
+            .slots
+            .iter()
+            .filter_map(|s| s.rop_after.as_ref())
+            .flat_map(|r| r.aps.clone())
+            .collect();
+        for plan in &plans {
+            let ap = net.node(plan.node).associated_ap.unwrap();
+            if polled_aps.contains(&ap) {
+                assert!(
+                    plan.sleep_fraction() < 1.0,
+                    "client {} sleeps through its poll",
+                    plan.node
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fake_links_trade_sleep_for_robustness() {
+        // With fake-link insertion on, the same workload keeps every
+        // client's radio busier — the §3.3/§5 energy trade-off made
+        // measurable.
+        let net = fig7(PhyParams::default());
+        let graph = ConflictGraph::build(&net);
+        let run = |fakes: bool| {
+            let mut sched = RandScheduler::new(net.links().len());
+            let mut backlog = vec![0u32; net.links().len()];
+            backlog[0] = 4;
+            let strict = sched.schedule_batch(&graph, &mut backlog, 4);
+            let cfg = ConverterConfig {
+                insert_fake_links: fakes,
+                insert_rop: false,
+                ..ConverterConfig::default()
+            };
+            let mut conv = Converter::new(cfg);
+            let outcome = conv.convert(&net, &graph, &strict, &[]);
+            let plans = plan_batch(&net, &outcome.batch);
+            plans.iter().map(|p| p.sleep_fraction()).sum::<f64>() / plans.len() as f64
+        };
+        let sleep_without = run(false);
+        let sleep_with = run(true);
+        assert!(
+            sleep_with < sleep_without,
+            "fakes should reduce sleep: {sleep_with} vs {sleep_without}"
+        );
+    }
+
+    #[test]
+    fn aps_are_not_planned() {
+        let (net, b) = batch(false);
+        let plans = plan_batch(&net, &b);
+        assert_eq!(
+            plans.len(),
+            net.links().iter().filter(|l| l.direction == Direction::Uplink).count()
+        );
+        for p in &plans {
+            assert!(!net.node(p.node).is_ap());
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the pending-event queue and the simulation clock. The
+//! simulation world (medium, MAC instances, traffic sources, controller) is
+//! owned by the caller; the main loop is:
+//!
+//! ```
+//! use domino_sim::engine::Engine;
+//! use domino_sim::time::{SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_at(SimTime::from_micros(10), Ev::Tick(0));
+//! let mut ticks = 0;
+//! while let Some((now, ev)) = engine.pop_until(SimTime::from_secs(1)) {
+//!     match ev {
+//!         Ev::Tick(n) if n < 3 => {
+//!             ticks += 1;
+//!             engine.schedule_in(SimDuration::from_micros(10), Ev::Tick(n + 1));
+//!         }
+//!         Ev::Tick(_) => { ticks += 1; }
+//!     }
+//!     let _ = now;
+//! }
+//! assert_eq!(ticks, 4);
+//! ```
+//!
+//! Events scheduled for the same instant are delivered in scheduling order
+//! (FIFO), which makes runs fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event queue plus simulation clock.
+pub struct Engine<E> {
+    queue: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Create an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Panics if `at` is before the current time: the past is immutable.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry { time: at, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Schedule `payload` after `delay` from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedule `payload` at the current instant (delivered after all
+    /// already-queued events for this instant).
+    #[inline]
+    pub fn schedule_now(&mut self, payload: E) -> EventHandle {
+        self.schedule_at(self.now, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling an already-delivered handle is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply verify delivery; tombstones are pruned on pop.
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Pop the next event not later than `horizon`. Advances the clock to
+    /// the event's timestamp. Returns `None` when the queue is exhausted or
+    /// the next event lies beyond the horizon (the clock then stays put).
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let next_time = self.queue.peek()?.time;
+            if next_time > horizon {
+                return None;
+            }
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue delivered out of order");
+            self.now = entry.time;
+            self.processed += 1;
+            return Some((entry.time, entry.payload));
+        }
+    }
+
+    /// Pop the next event regardless of horizon.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_until(SimTime::MAX)
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Prune leading tombstones so the peek is accurate.
+        while let Some(head) = self.queue.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let e = self.queue.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&e.seq);
+            } else {
+                return Some(head.time);
+            }
+        }
+        None
+    }
+
+    /// Advance the clock to `at` without delivering anything. Used at the
+    /// end of a run to account for trailing idle time. Panics when moving
+    /// backwards or past a pending event.
+    pub fn fast_forward(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot move the clock backwards");
+        if let Some(next) = self.peek_time() {
+            assert!(at <= next, "fast_forward would skip a pending event at {next:?}");
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        A(u32),
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(30), Ev::A(3));
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(20), Ev::A(2));
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, Ev::A(n))| n)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_micros(30));
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut e = Engine::new();
+        let t = SimTime::from_micros(5);
+        for n in 0..10 {
+            e.schedule_at(t, Ev::A(n));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, Ev::A(n))| n)
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(100), Ev::A(2));
+        assert!(e.pop_until(SimTime::from_micros(50)).is_some());
+        assert!(e.pop_until(SimTime::from_micros(50)).is_none());
+        // Clock did not advance past the horizon check.
+        assert_eq!(e.now(), SimTime::from_micros(10));
+        assert!(e.pop().is_some());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut e = Engine::new();
+        let h1 = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(20), Ev::A(2));
+        assert!(e.cancel(h1));
+        assert!(!e.cancel(h1), "double-cancel reports false");
+        let (_, ev) = e.pop().unwrap();
+        assert_eq!(ev, Ev::A(2));
+        assert!(e.pop().is_none());
+        assert_eq!(e.events_processed(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut e: Engine<Ev> = Engine::new();
+        assert!(!e.cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(20), Ev::A(2));
+        assert_eq!(e.pending(), 2);
+        e.cancel(h);
+        assert_eq!(e.pending(), 1);
+        assert!(!e.is_idle());
+        e.pop();
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn schedule_in_uses_current_time() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.pop();
+        e.schedule_in(SimDuration::from_micros(5), Ev::A(2));
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.pop();
+        e.schedule_at(SimTime::from_micros(5), Ev::A(2));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(20), Ev::A(2));
+        e.cancel(h);
+        assert_eq!(e.peek_time(), Some(SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn fast_forward_advances_clock() {
+        let mut e: Engine<Ev> = Engine::new();
+        e.fast_forward(SimTime::from_secs(50));
+        assert_eq!(e.now(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a pending event")]
+    fn fast_forward_cannot_skip_events() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.fast_forward(SimTime::from_micros(20));
+    }
+}

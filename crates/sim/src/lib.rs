@@ -1,0 +1,26 @@
+//! # domino-sim
+//!
+//! Deterministic discrete-event simulation substrate for the DOMINO
+//! (CoNEXT'13) reproduction.
+//!
+//! The paper evaluates DOMINO with trace-driven ns-3 simulations; this crate
+//! provides the equivalent foundation in Rust:
+//!
+//! * [`time`] — integer-nanosecond simulation clock types,
+//! * [`engine`] — a binary-heap event queue with FIFO tie-breaking,
+//!   cancellation, and horizon-bounded delivery,
+//! * [`rng`] — per-subsystem deterministic random streams.
+//!
+//! Everything is a pure function of `(configuration, seed)`; there is no
+//! wall-clock access anywhere in the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EventHandle};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,244 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the simulator draws from a [`SimRng`] that
+//! is derived from the run's master seed plus a per-subsystem stream label.
+//! Deriving independent streams (rather than sharing one generator) keeps
+//! runs reproducible even when one subsystem changes how many numbers it
+//! consumes: the wired-jitter stream, the PHY-error stream, and the traffic
+//! stream never perturb each other.
+//!
+//! The generator itself is `rand`'s `StdRng` seeded through SplitMix64
+//! expansion of `(master_seed, stream)`. Normal deviates use Box–Muller so we
+//! do not need a distributions crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step; used to expand a (seed, stream) pair into 32 seed bytes.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG stream for one simulator subsystem.
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second Box–Muller deviate.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Derive a stream from the run's master seed and a stream label.
+    ///
+    /// The label should be a stable constant per subsystem (see
+    /// [`streams`]). Distinct labels yield statistically independent
+    /// streams for the same master seed.
+    pub fn derive(master_seed: u64, stream: u64) -> Self {
+        let mut state = master_seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        SimRng { inner: StdRng::from_seed(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p` of `true` (clamped to [0, 1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Standard normal deviate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to keep ln() finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential deviate with the given mean.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean");
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element index, or `None` for an empty slice.
+    #[inline]
+    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.below(len as u64) as usize)
+        }
+    }
+
+    /// Raw 64-bit draw (for deriving sub-streams or hashing).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Stable stream labels for the simulator's subsystems.
+pub mod streams {
+    /// Wired backbone latency jitter.
+    pub const WIRED_JITTER: u64 = 0x01;
+    /// PHY reception error draws.
+    pub const PHY_ERROR: u64 = 0x02;
+    /// Traffic generation (arrival processes).
+    pub const TRAFFIC: u64 = 0x03;
+    /// DCF backoff draws.
+    pub const DCF_BACKOFF: u64 = 0x04;
+    /// Topology generation (placement, client selection).
+    pub const TOPOLOGY: u64 = 0x05;
+    /// Signature detection draws.
+    pub const SIGNATURE: u64 = 0x06;
+    /// Central scheduler tie-breaking.
+    pub const SCHEDULER: u64 = 0x07;
+    /// ROP decode draws.
+    pub const ROP: u64 = 0x08;
+    /// Sample-level PHY experiments (noise, CFO).
+    pub const PHY_SAMPLES: u64 = 0x09;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_reproduces() {
+        let mut a = SimRng::derive(42, streams::TRAFFIC);
+        let mut b = SimRng::derive(42, streams::TRAFFIC);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = SimRng::derive(42, streams::TRAFFIC);
+        let mut b = SimRng::derive(42, streams::WIRED_JITTER);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::derive(7, 0);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::derive(3, 1);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.normal(285.0, 22.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 285.0).abs() < 0.5, "mean={mean}");
+        assert!((var.sqrt() - 22.0).abs() < 0.5, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::derive(9, 2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::derive(1, 1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::derive(5, 5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_index_bounds() {
+        let mut r = SimRng::derive(6, 6);
+        assert_eq!(r.pick_index(0), None);
+        for _ in 0..100 {
+            assert!(r.pick_index(7).unwrap() < 7);
+        }
+    }
+}

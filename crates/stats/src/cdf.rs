@@ -1,0 +1,118 @@
+//! Empirical cumulative distribution functions (for Fig 14's
+//! throughput-gain CDF).
+
+/// An empirical CDF over a sample set.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (order irrelevant). Panics on NaN.
+    pub fn from_samples(mut samples: Vec<f64>) -> Cdf {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x).
+    pub fn probability_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (inverse CDF), nearest-rank. Panics when empty or
+    /// `q` out of [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest and largest sample. Panics when empty.
+    pub fn range(&self) -> (f64, f64) {
+        assert!(!self.sorted.is_empty(), "range of empty CDF");
+        (self.sorted[0], *self.sorted.last().unwrap())
+    }
+
+    /// The full `(x, P(X ≤ x))` staircase, one point per sample — what a
+    /// plotting harness prints.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / self.sorted.len() as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> Cdf {
+        Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0, 5.0])
+    }
+
+    #[test]
+    fn probability_staircase() {
+        let c = cdf();
+        assert_eq!(c.probability_at(0.5), 0.0);
+        assert_eq!(c.probability_at(1.0), 0.2);
+        assert_eq!(c.probability_at(3.5), 0.6);
+        assert_eq!(c.probability_at(5.0), 1.0);
+        assert_eq!(c.probability_at(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = cdf();
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+        assert_eq!(c.range(), (1.0, 5.0));
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let pts = cdf().points();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_probability_is_zero() {
+        let c = Cdf::from_samples(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.probability_at(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::from_samples(vec![1.0, f64::NAN]);
+    }
+}

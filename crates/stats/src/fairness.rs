@@ -1,0 +1,68 @@
+//! Jain's fairness index (Jain, Chiu & Hawe 1984), the throughput-fairness
+//! metric of the paper's Fig 12(c)/(f).
+
+/// Jain's fairness index over a set of allocations:
+/// `(Σx)² / (n · Σx²)`.
+///
+/// Ranges from `1/n` (one user hogs everything) to `1.0` (perfectly
+/// equal). Returns `1.0` for an empty set or all-zero allocations (no one
+/// is being treated unfairly when nothing is allocated).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    assert!(
+        allocations.iter().all(|&x| x.is_finite() && x >= 0.0),
+        "allocations must be finite and non-negative"
+    );
+    let sum: f64 = allocations.iter().sum();
+    if sum <= 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = allocations.iter().map(|&x| x * x).sum();
+    sum * sum / (allocations.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.1, 0.1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_hits_lower_bound() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_unfairness_in_between() {
+        let idx = jain_index(&[4.0, 2.0, 2.0]);
+        assert!(idx > 1.0 / 3.0 && idx < 1.0, "idx={idx}");
+        // Known value: 64 / (3*24) = 0.888…
+        assert!((idx - 64.0 / 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_allocation_panics() {
+        let _ = jain_index(&[1.0, -1.0]);
+    }
+}

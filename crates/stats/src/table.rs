@@ -1,0 +1,120 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every `figNN_*` / `tableN_*` binary in `domino-bench` prints its rows
+//! through this type so the regenerated tables read like the paper's.
+
+use core::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn row_display<D: core::fmt::Display>(&mut self, cells: &[D]) -> &mut Table {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {cell:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        let _ = ncols;
+        out
+    }
+}
+
+/// Format a float with fixed decimals (helper for table cells).
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Throughput", &["scheme", "Mbps"]);
+        t.row(&["DOMINO".into(), "32.72".into()]);
+        t.row(&["DCF".into(), "9.97".into()]);
+        let s = t.render();
+        assert!(s.contains("## Throughput"));
+        assert!(s.contains("| scheme | Mbps  |"));
+        assert!(s.contains("| DOMINO | 32.72 |"));
+        assert!(s.contains("| DCF    | 9.97  |"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn row_display_accepts_numbers() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_display(&[1.5, 2.25]);
+        assert!(t.render().contains("| 1.5 | 2.25 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f(12.3456, 2), "12.35");
+        assert_eq!(fmt_f(10.0, 0), "10");
+    }
+}

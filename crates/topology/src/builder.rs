@@ -1,0 +1,260 @@
+//! Topology construction: the paper's T(m, n) selection procedure and the
+//! Fig 14 random-placement generator.
+
+use crate::network::{Network, PhyParams};
+use crate::node::{Node, NodeId, NodeRole, Position};
+use crate::rss::RssMatrix;
+use crate::trace::Trace;
+use domino_phy::pathloss::{default_tx_power, LogDistanceModel};
+use domino_phy::units::Db;
+use domino_sim::rng::streams;
+use domino_sim::SimRng;
+
+/// Build `T(m, n)` from a trace, following §4.2.1 of the paper:
+///
+/// 1. sort trace nodes by the number of nodes in their communication
+///    range, descending;
+/// 2. take the first unused node as an AP and randomly pick `n` unused
+///    nodes in its communication range as its clients;
+/// 3. repeat until `m` APs are selected.
+///
+/// Returns `None` when the trace cannot furnish `m` APs with `n` clients
+/// each (the caller should retry with another seed or a denser trace).
+pub fn t_topology(
+    trace: &Trace,
+    m: usize,
+    n: usize,
+    phy: PhyParams,
+    seed: u64,
+) -> Option<Network> {
+    let total = trace.len();
+    assert!(m >= 1 && n >= 1);
+    let mut rng = SimRng::derive(seed, streams::TOPOLOGY);
+
+    // Communication-range neighbour lists from the trace RSS.
+    let neighbors: Vec<Vec<usize>> = (0..total)
+        .map(|i| {
+            (0..total)
+                .filter(|&j| {
+                    j != i
+                        && trace.rss.get(NodeId(i as u32), NodeId(j as u32))
+                            >= phy.comm_range_rss
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(neighbors[i].len()));
+
+    let mut used = vec![false; total];
+    // (trace index, role, ap trace index)
+    let mut picked: Vec<(usize, NodeRole, Option<usize>)> = Vec::new();
+    let mut aps = 0usize;
+    for &cand in &order {
+        if aps == m {
+            break;
+        }
+        if used[cand] {
+            continue;
+        }
+        let mut free: Vec<usize> = neighbors[cand].iter().copied().filter(|&j| !used[j]).collect();
+        if free.len() < n {
+            continue;
+        }
+        rng.shuffle(&mut free);
+        used[cand] = true;
+        picked.push((cand, NodeRole::Ap, None));
+        for &c in free.iter().take(n) {
+            used[c] = true;
+            picked.push((c, NodeRole::Client, Some(cand)));
+        }
+        aps += 1;
+    }
+    if aps < m {
+        return None;
+    }
+
+    Some(remap(trace, &picked, phy))
+}
+
+/// Re-index a subset of trace nodes into a dense [`Network`].
+fn remap(trace: &Trace, picked: &[(usize, NodeRole, Option<usize>)], phy: PhyParams) -> Network {
+    let index_of = |trace_idx: usize| -> u32 {
+        picked
+            .iter()
+            .position(|&(t, _, _)| t == trace_idx)
+            .expect("AP of a picked client must itself be picked") as u32
+    };
+    let nodes: Vec<Node> = picked
+        .iter()
+        .enumerate()
+        .map(|(new_id, &(t, role, ap))| Node {
+            id: NodeId(new_id as u32),
+            role,
+            associated_ap: ap.map(|a| NodeId(index_of(a))),
+            position: trace.positions[t],
+            signature: new_id,
+        })
+        .collect();
+    let mut rss = RssMatrix::disconnected(picked.len());
+    for (i, &(ti, _, _)) in picked.iter().enumerate() {
+        for (j, &(tj, _, _)) in picked.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            rss.set(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                trace.rss.get(NodeId(ti as u32), NodeId(tj as u32)),
+            );
+        }
+    }
+    Network::new(nodes, rss, phy)
+}
+
+/// Random-placement generator for the Fig 14 experiment: `m` APs uniformly
+/// in a square area of `area_side_m`, each with `n` clients placed
+/// uniformly within `client_radius_m` of it; RSS from the ns-3 default
+/// path-loss model plus light shadowing.
+pub fn random_placement(
+    m: usize,
+    n: usize,
+    area_side_m: f64,
+    client_radius_m: f64,
+    phy: PhyParams,
+    seed: u64,
+) -> Network {
+    let mut rng = SimRng::derive(seed, streams::TOPOLOGY);
+    let mut nodes = Vec::new();
+    for ap_idx in 0..m {
+        let ap_id = nodes.len() as u32;
+        let ap_pos = Position::new(
+            rng.uniform_range(0.0, area_side_m),
+            rng.uniform_range(0.0, area_side_m),
+        );
+        nodes.push(Node {
+            id: NodeId(ap_id),
+            role: NodeRole::Ap,
+            associated_ap: None,
+            position: ap_pos,
+            signature: ap_id as usize,
+        });
+        for _ in 0..n {
+            let id = nodes.len() as u32;
+            let theta = rng.uniform_range(0.0, 2.0 * core::f64::consts::PI);
+            // sqrt for uniform density over the disc.
+            let r = client_radius_m * rng.uniform().sqrt();
+            nodes.push(Node {
+                id: NodeId(id),
+                role: NodeRole::Client,
+                associated_ap: Some(NodeId(ap_id)),
+                position: Position::new(
+                    (ap_pos.x + r * theta.cos()).clamp(0.0, area_side_m),
+                    (ap_pos.y + r * theta.sin()).clamp(0.0, area_side_m),
+                ),
+                signature: id as usize,
+            });
+        }
+        let _ = ap_idx;
+    }
+
+    let model = LogDistanceModel::ns3_default();
+    let tx = default_tx_power();
+    let mut rss = RssMatrix::disconnected(nodes.len());
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            let d = nodes[i].position.distance_to(&nodes[j].position);
+            let shadow = Db(rng.normal(0.0, 3.0));
+            rss.set_symmetric(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                tx - model.loss(d) + shadow,
+            );
+        }
+    }
+    Network::new(nodes, rss, phy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, TraceConfig};
+
+    #[test]
+    fn t_topology_shape() {
+        let trace = generate(&TraceConfig::default(), 42);
+        let net = t_topology(&trace, 10, 2, PhyParams::default(), 1)
+            .expect("default trace supports T(10,2)");
+        assert_eq!(net.aps().len(), 10);
+        assert_eq!(net.num_nodes(), 30);
+        for ap in net.aps() {
+            assert_eq!(net.clients_of(ap).len(), 2);
+        }
+        // 10 APs x 2 clients x 2 directions.
+        assert_eq!(net.links().len(), 40);
+    }
+
+    #[test]
+    fn t_topology_clients_in_range() {
+        let trace = generate(&TraceConfig::default(), 42);
+        let net = t_topology(&trace, 6, 3, PhyParams::default(), 2).unwrap();
+        for ap in net.aps() {
+            for c in net.clients_of(ap) {
+                assert!(
+                    net.rss().get(ap, c) >= net.phy().comm_range_rss,
+                    "client {c} out of range of {ap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t_topology_is_seed_sensitive_but_deterministic() {
+        let trace = generate(&TraceConfig::default(), 42);
+        let a = t_topology(&trace, 5, 2, PhyParams::default(), 1).unwrap();
+        let b = t_topology(&trace, 5, 2, PhyParams::default(), 1).unwrap();
+        let c = t_topology(&trace, 5, 2, PhyParams::default(), 99).unwrap();
+        let sig = |n: &Network| {
+            n.nodes()
+                .iter()
+                .map(|x| (x.position.x * 1000.0) as i64)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&a), sig(&b));
+        assert_ne!(sig(&a), sig(&c));
+    }
+
+    #[test]
+    fn impossible_request_returns_none() {
+        let trace = generate(&TraceConfig::default(), 42);
+        assert!(t_topology(&trace, 25, 10, PhyParams::default(), 1).is_none());
+    }
+
+    #[test]
+    fn random_placement_shape() {
+        let net = random_placement(20, 3, 800.0, 30.0, PhyParams::default(), 7);
+        assert_eq!(net.num_nodes(), 80);
+        assert_eq!(net.aps().len(), 20);
+        // Clients placed near their AP.
+        for ap in net.aps() {
+            let ap_pos = net.node(ap).position;
+            for c in net.clients_of(ap) {
+                assert!(net.node(c).position.distance_to(&ap_pos) <= 30.0 * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn random_placement_links_usable() {
+        let net = random_placement(20, 3, 800.0, 30.0, PhyParams::default(), 3);
+        let mut usable = 0;
+        for l in net.links() {
+            if net.link_snr_db(l.id) > 10.0 {
+                usable += 1;
+            }
+        }
+        // The vast majority of 30 m links must be healthy at 12 Mb/s.
+        assert!(usable as f64 / net.links().len() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Conflict-graph maintenance overhead (paper §5, "Building conflict
+//! graph dynamically").
+//!
+//! The paper argues the map can be refreshed fast enough for mobile
+//! scenarios: non-interfering nodes beacon concurrently, so a refresh
+//! costs `t·(Δ+1)` where `t` is one beacon airtime and `Δ` is the
+//! maximum degree of the two-hop interference graph, and it must run
+//! once per channel coherence time (125.1 ms for walking speed at
+//! 2.4 GHz, citing Fu et al.). With Δ = 40 and 40 µs beacons the paper
+//! computes 1.3 % overhead. This module reproduces that arithmetic on
+//! real topologies.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use domino_sim::SimDuration;
+
+/// Channel coherence time at walking speed in the 2.4 GHz band
+/// (Fu et al., cited in §5).
+pub const WALKING_COHERENCE: SimDuration = SimDuration::from_micros(125_100);
+
+/// Beacon airtime the paper assumes.
+pub const BEACON_AIRTIME: SimDuration = SimDuration::from_micros(40);
+
+/// Maximum degree of the two-hop interference graph over *nodes*: two
+/// nodes are adjacent when one can interfere with the other (RSS at or
+/// above the carrier-sense threshold), and the two-hop graph connects
+/// any pair within two such hops.
+pub fn two_hop_max_degree(net: &Network) -> usize {
+    let n = net.num_nodes();
+    let hears = |a: usize, b: usize| {
+        net.rss().get(NodeId(a as u32), NodeId(b as u32)) >= net.phy().cs_threshold
+            || net.rss().get(NodeId(b as u32), NodeId(a as u32)) >= net.phy().cs_threshold
+    };
+    // One-hop adjacency.
+    let adj: Vec<Vec<bool>> = (0..n)
+        .map(|a| (0..n).map(|b| a != b && hears(a, b)).collect())
+        .collect();
+    // Two-hop closure degree.
+    (0..n)
+        .map(|a| {
+            (0..n)
+                .filter(|&b| {
+                    a != b && (adj[a][b] || (0..n).any(|m| adj[a][m] && adj[m][b]))
+                })
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Time to refresh the whole conflict map: `t · (Δ + 1)` (§5).
+pub fn refresh_time(net: &Network, beacon: SimDuration) -> SimDuration {
+    beacon * (two_hop_max_degree(net) as u64 + 1)
+}
+
+/// Fraction of airtime spent refreshing the map once per coherence
+/// interval.
+pub fn maintenance_overhead(net: &Network, beacon: SimDuration, coherence: SimDuration) -> f64 {
+    refresh_time(net, beacon).as_nanos() as f64 / coherence.as_nanos() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{make_node, PhyParams};
+    use crate::node::{NodeRole, Position};
+    use crate::rss::RssMatrix;
+    use domino_phy::units::Dbm;
+
+    #[test]
+    fn papers_headline_number() {
+        // "When Δ = 40 and each beacon takes 40 µs, the overhead is only
+        // 1.3 %."
+        let overhead =
+            (BEACON_AIRTIME * 41).as_nanos() as f64 / WALKING_COHERENCE.as_nanos() as f64;
+        assert!((overhead - 0.0131).abs() < 0.0005, "overhead={overhead}");
+    }
+
+    fn chain_net(n: u32, rss_val: f64) -> Network {
+        // A chain: node i hears node i+1 only.
+        let nodes: Vec<_> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    make_node(i, NodeRole::Ap, None, Position::default())
+                } else {
+                    make_node(i, NodeRole::Client, Some(i - 1), Position::default())
+                }
+            })
+            .collect();
+        let mut rss = RssMatrix::disconnected(n as usize);
+        for i in 0..n - 1 {
+            rss.set_symmetric(NodeId(i), NodeId(i + 1), Dbm(rss_val));
+        }
+        Network::new(nodes, rss, PhyParams::default())
+    }
+
+    #[test]
+    fn chain_two_hop_degree() {
+        // In a 6-node audible chain, interior nodes reach 2 one-hop + 2
+        // two-hop neighbours.
+        let net = chain_net(6, -60.0);
+        assert_eq!(two_hop_max_degree(&net), 4);
+    }
+
+    #[test]
+    fn inaudible_network_has_zero_degree() {
+        let net = chain_net(4, -95.0); // below the -82 dBm CS threshold
+        assert_eq!(two_hop_max_degree(&net), 0);
+        assert_eq!(refresh_time(&net, BEACON_AIRTIME), BEACON_AIRTIME);
+    }
+
+    #[test]
+    fn overhead_on_the_canonical_t10_2() {
+        let trace = crate::trace::generate(&crate::trace::TraceConfig::default(), 0xD0311);
+        let net = crate::builder::t_topology(&trace, 10, 2, PhyParams::default(), 1).unwrap();
+        let overhead = maintenance_overhead(&net, BEACON_AIRTIME, WALKING_COHERENCE);
+        // Our 30-node topology is sparser than Δ=40; overhead must land
+        // well under a few percent.
+        assert!(overhead < 0.02, "overhead={overhead}");
+        assert!(overhead > 0.0);
+    }
+}

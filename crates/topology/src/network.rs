@@ -1,0 +1,284 @@
+//! The `Network`: nodes, associations, RSS map and the derived link set.
+
+use crate::link::{Direction, Link, LinkId};
+use crate::node::{Node, NodeId, NodeRole, Position};
+use crate::rss::RssMatrix;
+use domino_phy::error_model::DataRate;
+use domino_phy::units::{wifi_noise_floor, Dbm};
+
+/// Physical-layer parameters shared by every node in a network.
+#[derive(Clone, Copy, Debug)]
+pub struct PhyParams {
+    /// Data rate used for payload frames (the paper's evaluation fixes
+    /// 12 Mb/s).
+    pub data_rate: DataRate,
+    /// Carrier-sense (preamble-detection) threshold.
+    pub cs_threshold: Dbm,
+    /// Receiver noise floor.
+    pub noise_floor: Dbm,
+    /// RSS above which two nodes are considered "in communication range"
+    /// when building topologies.
+    pub comm_range_rss: Dbm,
+}
+
+impl Default for PhyParams {
+    fn default() -> PhyParams {
+        PhyParams {
+            data_rate: DataRate::Mbps12,
+            cs_threshold: Dbm(-82.0),
+            noise_floor: wifi_noise_floor(),
+            // Clients associate with APs they hear comfortably (a healthy
+            // SINR margin), as enterprise deployments ensure; this also
+            // calibrates the trace-driven pair structure to the paper's.
+            comm_range_rss: Dbm(-72.0),
+        }
+    }
+}
+
+/// A complete enterprise WLAN topology.
+#[derive(Clone, Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    rss: RssMatrix,
+    links: Vec<Link>,
+    phy: PhyParams,
+}
+
+impl Network {
+    /// Assemble a network from nodes and an RSS map. Links are derived:
+    /// one downlink and one uplink per associated client, ordered by AP
+    /// then client.
+    ///
+    /// Panics if a client lacks an association, an AP has one, node ids
+    /// are not dense, or the RSS matrix size mismatches.
+    pub fn new(nodes: Vec<Node>, rss: RssMatrix, phy: PhyParams) -> Network {
+        assert_eq!(nodes.len(), rss.len(), "RSS matrix size mismatch");
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.index(), i, "node ids must be dense and ordered");
+            match n.role {
+                NodeRole::Ap => assert!(n.associated_ap.is_none(), "{} is an AP with an association", n.id),
+                NodeRole::Client => {
+                    let ap = n.associated_ap.unwrap_or_else(|| panic!("{} has no AP", n.id));
+                    assert!(nodes[ap.index()].is_ap(), "{} associated to non-AP {}", n.id, ap);
+                }
+            }
+        }
+        let mut links = Vec::new();
+        for ap in nodes.iter().filter(|n| n.is_ap()) {
+            for client in nodes.iter().filter(|n| n.associated_ap == Some(ap.id)) {
+                let dl = LinkId(links.len() as u32);
+                links.push(Link {
+                    id: dl,
+                    sender: ap.id,
+                    receiver: client.id,
+                    ap: ap.id,
+                    direction: Direction::Downlink,
+                });
+                let ul = LinkId(links.len() as u32);
+                links.push(Link {
+                    id: ul,
+                    sender: client.id,
+                    receiver: ap.id,
+                    ap: ap.id,
+                    direction: Direction::Uplink,
+                });
+            }
+        }
+        Network { nodes, rss, links, phy }
+    }
+
+    /// All nodes, ordered by id.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node by id.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All directed links, ordered by id.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link by id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The RSS map.
+    #[inline]
+    pub fn rss(&self) -> &RssMatrix {
+        &self.rss
+    }
+
+    /// PHY parameters.
+    #[inline]
+    pub fn phy(&self) -> &PhyParams {
+        &self.phy
+    }
+
+    /// All AP node ids.
+    pub fn aps(&self) -> Vec<NodeId> {
+        self.nodes.iter().filter(|n| n.is_ap()).map(|n| n.id).collect()
+    }
+
+    /// Clients associated with `ap`, in id order.
+    pub fn clients_of(&self, ap: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.associated_ap == Some(ap))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The link in the opposite direction over the same AP–client pair.
+    pub fn reverse_link(&self, id: LinkId) -> LinkId {
+        let l = self.link(id);
+        self.links
+            .iter()
+            .find(|o| o.sender == l.receiver && o.receiver == l.sender)
+            .map(|o| o.id)
+            .expect("every link is created with its reverse")
+    }
+
+    /// Links whose sender is `node`.
+    pub fn links_from(&self, node: NodeId) -> Vec<LinkId> {
+        self.links.iter().filter(|l| l.sender == node).map(|l| l.id).collect()
+    }
+
+    /// SNR (dB) of a link's data transmission with no interference.
+    pub fn link_snr_db(&self, id: LinkId) -> f64 {
+        let l = self.link(id);
+        (self.rss.get(l.sender, l.receiver) - self.phy.noise_floor).value()
+    }
+
+    /// Can `a` carrier-sense `b`'s transmissions?
+    pub fn can_sense(&self, a: NodeId, b: NodeId) -> bool {
+        self.rss.get(b, a) >= self.phy.cs_threshold
+    }
+
+    /// Nodes in communication range of `node` (either direction at or
+    /// above the comm-range RSS).
+    pub fn comm_neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|&o| {
+                o != node
+                    && (self.rss.get(node, o) >= self.phy.comm_range_rss
+                        || self.rss.get(o, node) >= self.phy.comm_range_rss)
+            })
+            .collect()
+    }
+}
+
+/// Convenience constructor for a node.
+pub fn make_node(id: u32, role: NodeRole, ap: Option<u32>, position: Position) -> Node {
+    Node {
+        id: NodeId(id),
+        role,
+        associated_ap: ap.map(NodeId),
+        position,
+        signature: id as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pair_network() -> Network {
+        let nodes = vec![
+            make_node(0, NodeRole::Ap, None, Position::default()),
+            make_node(1, NodeRole::Client, Some(0), Position::default()),
+            make_node(2, NodeRole::Ap, None, Position::default()),
+            make_node(3, NodeRole::Client, Some(2), Position::default()),
+        ];
+        let mut rss = RssMatrix::disconnected(4);
+        rss.set_symmetric(NodeId(0), NodeId(1), Dbm(-55.0));
+        rss.set_symmetric(NodeId(2), NodeId(3), Dbm(-55.0));
+        rss.set_symmetric(NodeId(0), NodeId(2), Dbm(-75.0));
+        Network::new(nodes, rss, PhyParams::default())
+    }
+
+    #[test]
+    fn links_derived_per_pair() {
+        let net = two_pair_network();
+        assert_eq!(net.links().len(), 4);
+        let dl = net.link(LinkId(0));
+        assert!(dl.is_downlink());
+        assert_eq!(dl.sender, NodeId(0));
+        assert_eq!(dl.receiver, NodeId(1));
+        assert_eq!(dl.ap, NodeId(0));
+        let ul = net.link(LinkId(1));
+        assert_eq!(ul.sender, NodeId(1));
+        assert_eq!(ul.ap, NodeId(0));
+    }
+
+    #[test]
+    fn reverse_link_round_trip() {
+        let net = two_pair_network();
+        for l in net.links() {
+            let r = net.reverse_link(l.id);
+            assert_eq!(net.reverse_link(r), l.id);
+            assert_ne!(r, l.id);
+        }
+    }
+
+    #[test]
+    fn aps_and_clients() {
+        let net = two_pair_network();
+        assert_eq!(net.aps(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(net.clients_of(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(net.clients_of(NodeId(2)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn snr_and_sensing() {
+        let net = two_pair_network();
+        // -55 - (-94) = 39 dB SNR.
+        assert!((net.link_snr_db(LinkId(0)) - 39.0).abs() < 0.1);
+        assert!(net.can_sense(NodeId(0), NodeId(2)));
+        assert!(!net.can_sense(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn comm_neighbors() {
+        // With the -72 dBm association threshold the -75 dBm AP0-AP2 pair
+        // is out of communication range; only the -55 dBm client remains.
+        let net = two_pair_network();
+        assert_eq!(net.comm_neighbors(NodeId(0)), vec![NodeId(1)]);
+        // A looser threshold brings AP2 back.
+        let loose = PhyParams { comm_range_rss: Dbm(-80.0), ..PhyParams::default() };
+        let nodes = net.nodes().to_vec();
+        let net2 = Network::new(nodes, net.rss().clone(), loose);
+        assert_eq!(net2.comm_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no AP")]
+    fn client_without_ap_panics() {
+        let nodes = vec![make_node(0, NodeRole::Client, None, Position::default())];
+        let rss = RssMatrix::disconnected(1);
+        let _ = Network::new(nodes, rss, PhyParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rss_size_mismatch_panics() {
+        let nodes = vec![make_node(0, NodeRole::Ap, None, Position::default())];
+        let rss = RssMatrix::disconnected(2);
+        let _ = Network::new(nodes, rss, PhyParams::default());
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's hand-drawn example topologies, realized as RSS matrices.
+//!
+//! Each preset fabricates an RSS map that induces exactly the sensing and
+//! interference structure of the corresponding figure under the default
+//! PHY parameters (capture ≈ 8.2 dB at 12 Mb/s, carrier sense at −82 dBm,
+//! noise floor ≈ −94 dBm). Nothing downstream special-cases these
+//! topologies: the conflict graph, hidden/exposed classification, and all
+//! MAC behaviour fall out of the matrix.
+
+use crate::network::{make_node, Network, PhyParams};
+use crate::node::{NodeId, NodeRole, Position};
+use crate::rss::RssMatrix;
+use domino_phy::units::Dbm;
+
+/// RSS of an associated AP–client pair: loud and reliable.
+const PAIR: Dbm = Dbm(-55.0);
+/// RSS that corrupts reception (within ~5 dB of the pair signal).
+const INTERFERE: Dbm = Dbm(-60.0);
+/// RSS that is sensable (above −82 dBm) but far too weak to corrupt.
+const SENSE_ONLY: Dbm = Dbm(-75.0);
+/// Background RSS for every other pair: far below carrier sense and
+/// packet decoding ("the nodes cannot hear each other"), but real radios
+/// are never at negative infinity — Gold-code correlation still detects
+/// signatures at this level (21 dB of processing gain), which is what
+/// lets DOMINO trigger hidden terminals at all.
+const BACKGROUND: Dbm = Dbm(-95.0);
+
+/// Fill every still-unset pair with the background level.
+fn fill_background(rss: &mut RssMatrix) {
+    let n = rss.len() as u32;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rss.get(NodeId(a), NodeId(b)) <= Dbm(-200.0) {
+                rss.set(NodeId(a), NodeId(b), BACKGROUND);
+            }
+            if rss.get(NodeId(b), NodeId(a)) <= Dbm(-200.0) {
+                rss.set(NodeId(b), NodeId(a), BACKGROUND);
+            }
+        }
+    }
+}
+
+/// Paper Fig 1: three AP–client pairs.
+///
+/// * Nodes: 0=AP1, 1=C1, 2=AP2, 3=C2, 4=AP3, 5=C3.
+/// * Flows evaluated in Fig 2: AP1→C1, C2→AP2, AP3→C3.
+/// * AP1 is a hidden terminal to AP3 (AP1's signal corrupts C3, the APs
+///   cannot hear each other), and C2/AP1 are exposed to each other.
+pub fn fig1(phy: PhyParams) -> Network {
+    let nodes = vec![
+        make_node(0, NodeRole::Ap, None, Position::new(0.0, 0.0)),
+        make_node(1, NodeRole::Client, Some(0), Position::new(0.0, 10.0)),
+        make_node(2, NodeRole::Ap, None, Position::new(40.0, 0.0)),
+        make_node(3, NodeRole::Client, Some(2), Position::new(30.0, 10.0)),
+        make_node(4, NodeRole::Ap, None, Position::new(80.0, 0.0)),
+        make_node(5, NodeRole::Client, Some(4), Position::new(70.0, 10.0)),
+    ];
+    let mut rss = RssMatrix::disconnected(6);
+    // Associated pairs.
+    rss.set_symmetric(NodeId(0), NodeId(1), PAIR);
+    rss.set_symmetric(NodeId(2), NodeId(3), PAIR);
+    rss.set_symmetric(NodeId(4), NodeId(5), PAIR);
+    // AP1 corrupts C3 (one-directional hidden interference: AP3's signal
+    // does not reach C1).
+    rss.set(NodeId(0), NodeId(5), INTERFERE);
+    rss.set(NodeId(5), NodeId(0), INTERFERE); // C3's ACK also collides at AP1's band; symmetric radio
+    // C2 and AP1 hear each other (exposed) but neither corrupts the
+    // other's receiver.
+    rss.set_symmetric(NodeId(0), NodeId(3), SENSE_ONLY);
+    fill_background(&mut rss);
+    Network::new(nodes, rss, phy)
+}
+
+/// Paper Fig 7: four AP–client pairs whose downlinks form a 4-cycle
+/// conflict graph.
+///
+/// * Nodes: 0=AP1, 1=C1, 2=AP2, 3=C2, 4=AP3, 5=C3, 6=AP4, 7=C4.
+/// * Downlink conflicts: (1,2), (2,3), (3,4), (4,1); pairs (1,3) and
+///   (2,4) are compatible, giving the two-slot schedule of Fig 7(c).
+/// * AP3 and AP4 are hidden to each other; AP2 and AP3 are audible at
+///   AP1 (their signals collide there, motivating signature triggers).
+pub fn fig7(phy: PhyParams) -> Network {
+    let nodes = vec![
+        make_node(0, NodeRole::Ap, None, Position::new(0.0, 0.0)),
+        make_node(1, NodeRole::Client, Some(0), Position::new(0.0, 10.0)),
+        make_node(2, NodeRole::Ap, None, Position::new(30.0, 0.0)),
+        make_node(3, NodeRole::Client, Some(2), Position::new(30.0, 10.0)),
+        make_node(4, NodeRole::Ap, None, Position::new(60.0, 0.0)),
+        make_node(5, NodeRole::Client, Some(4), Position::new(60.0, 10.0)),
+        make_node(6, NodeRole::Ap, None, Position::new(90.0, 0.0)),
+        make_node(7, NodeRole::Client, Some(6), Position::new(90.0, 10.0)),
+    ];
+    let ap = |i: usize| NodeId(2 * i as u32);
+    let client = |i: usize| NodeId(2 * i as u32 + 1);
+    let mut rss = RssMatrix::disconnected(8);
+    for i in 0..4 {
+        rss.set_symmetric(ap(i), client(i), PAIR);
+    }
+    // Conflict edges of the 4-cycle: each AP corrupts the next pair's
+    // client (and vice versa), wrapping around.
+    for (i, j) in [(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+        rss.set_symmetric(ap(i), client(j), INTERFERE);
+        rss.set_symmetric(ap(j), client(i), INTERFERE);
+    }
+    // Sensing relations: AP1–AP2, AP2–AP3, AP4–AP1 hear each other;
+    // AP3–AP4 deliberately silent (hidden pair).
+    rss.set_symmetric(ap(0), ap(1), SENSE_ONLY);
+    rss.set_symmetric(ap(1), ap(2), SENSE_ONLY);
+    rss.set_symmetric(ap(3), ap(0), SENSE_ONLY);
+    // AP3 is audible at AP1 (collides with AP2's signal there).
+    rss.set_symmetric(ap(2), ap(0), SENSE_ONLY);
+    fill_background(&mut rss);
+    Network::new(nodes, rss, phy)
+}
+
+/// Paper Fig 13(a): four downlinks that are all exposed to each other —
+/// every AP senses every other AP, no receiver is disturbed.
+pub fn fig13a(phy: PhyParams) -> Network {
+    let nodes = four_pairs();
+    let mut rss = four_pair_rss();
+    for i in 0..4u32 {
+        for j in (i + 1)..4u32 {
+            rss.set_symmetric(NodeId(2 * i), NodeId(2 * j), SENSE_ONLY);
+        }
+    }
+    fill_background(&mut rss);
+    Network::new(nodes, rss, phy)
+}
+
+/// Paper Fig 13(b): AP1, AP2, AP3 cannot hear each other but all hear
+/// AP4 (one common exposed link). CENTAUR's carrier-sense batch alignment
+/// breaks down here (Table 3).
+pub fn fig13b(phy: PhyParams) -> Network {
+    let nodes = four_pairs();
+    let mut rss = four_pair_rss();
+    for i in 0..3u32 {
+        rss.set_symmetric(NodeId(2 * i), NodeId(6), SENSE_ONLY);
+    }
+    fill_background(&mut rss);
+    Network::new(nodes, rss, phy)
+}
+
+fn four_pairs() -> Vec<crate::node::Node> {
+    (0..4)
+        .flat_map(|i| {
+            [
+                make_node(2 * i, NodeRole::Ap, None, Position::new(30.0 * i as f64, 0.0)),
+                make_node(2 * i + 1, NodeRole::Client, Some(2 * i), Position::new(30.0 * i as f64, 10.0)),
+            ]
+        })
+        .collect()
+}
+
+fn four_pair_rss() -> RssMatrix {
+    let mut rss = RssMatrix::disconnected(8);
+    for i in 0..4u32 {
+        rss.set_symmetric(NodeId(2 * i), NodeId(2 * i + 1), PAIR);
+    }
+    rss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::{classify_pair, ConflictGraph, PairKind};
+    use crate::link::LinkId;
+
+    fn dl(net: &Network, ap: u32) -> LinkId {
+        net.links()
+            .iter()
+            .find(|l| l.is_downlink() && l.sender == NodeId(ap))
+            .unwrap()
+            .id
+    }
+
+    fn ul(net: &Network, ap: u32) -> LinkId {
+        net.links()
+            .iter()
+            .find(|l| !l.is_downlink() && l.receiver == NodeId(ap))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn fig1_has_the_advertised_structure() {
+        let net = fig1(PhyParams::default());
+        let g = ConflictGraph::build(&net);
+        let l1 = dl(&net, 0); // AP1 -> C1
+        let l2 = ul(&net, 2); // C2 -> AP2
+        let l3 = dl(&net, 4); // AP3 -> C3
+        // AP1 hidden to AP3's downlink.
+        assert_eq!(classify_pair(&net, &g, l1, l3), PairKind::Hidden);
+        // AP1's downlink and C2's uplink are exposed.
+        assert_eq!(classify_pair(&net, &g, l1, l2), PairKind::Exposed);
+        // C2's uplink does not conflict with AP3's downlink.
+        assert!(!g.conflicts(l2, l3));
+    }
+
+    #[test]
+    fn fig7_conflict_graph_is_the_4_cycle() {
+        let net = fig7(PhyParams::default());
+        let g = ConflictGraph::build(&net);
+        let d: Vec<LinkId> = (0..4).map(|i| dl(&net, 2 * i)).collect();
+        for (i, j) in [(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+            assert!(g.conflicts(d[i], d[j]), "expected conflict {i}-{j}");
+        }
+        assert!(!g.conflicts(d[0], d[2]), "1-3 must be compatible");
+        assert!(!g.conflicts(d[1], d[3]), "2-4 must be compatible");
+        // The Fig 7(c) schedule slots are independent sets.
+        assert!(g.is_independent(&[d[0], d[2]]));
+        assert!(g.is_independent(&[d[1], d[3]]));
+    }
+
+    #[test]
+    fn fig7_ap3_ap4_hidden() {
+        let net = fig7(PhyParams::default());
+        let g = ConflictGraph::build(&net);
+        let l3 = dl(&net, 4);
+        let l4 = dl(&net, 6);
+        assert_eq!(classify_pair(&net, &g, l3, l4), PairKind::Hidden);
+        // AP3 is audible at AP1 (used for trigger collision discussion).
+        assert!(net.can_sense(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn fig13a_all_downlinks_mutually_exposed() {
+        let net = fig13a(PhyParams::default());
+        let g = ConflictGraph::build(&net);
+        let d: Vec<LinkId> = (0..4).map(|i| dl(&net, 2 * i)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(
+                    classify_pair(&net, &g, d[i], d[j]),
+                    PairKind::Exposed,
+                    "{i}-{j}"
+                );
+            }
+        }
+        assert!(g.is_independent(&d));
+    }
+
+    #[test]
+    fn fig13b_only_ap4_is_commonly_heard() {
+        let net = fig13b(PhyParams::default());
+        // AP1..AP3 mutually silent.
+        for i in 0..3u32 {
+            for j in (i + 1)..3u32 {
+                assert!(!net.can_sense(NodeId(2 * i), NodeId(2 * j)));
+            }
+            assert!(net.can_sense(NodeId(2 * i), NodeId(6)));
+            assert!(net.can_sense(NodeId(6), NodeId(2 * i)));
+        }
+        // All four downlinks remain non-conflicting.
+        let g = ConflictGraph::build(&net);
+        let d: Vec<LinkId> = (0..4).map(|i| dl(&net, 2 * i)).collect();
+        assert!(g.is_independent(&d));
+    }
+}

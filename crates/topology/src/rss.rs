@@ -1,0 +1,134 @@
+//! Pairwise received-signal-strength matrices.
+//!
+//! The central interference map of DOMINO is "the received signal strength
+//! between all node pairs, maintained at the server" (paper §3). All
+//! reception, carrier-sense and conflict decisions in the reproduction
+//! derive from this matrix — preset topologies fabricate it directly,
+//! generated topologies compute it from positions and a path-loss model.
+
+use crate::node::NodeId;
+use domino_phy::units::Dbm;
+
+/// Dense N×N matrix of RSS values; `get(tx, rx)` is the power of `tx`'s
+/// transmission as received at `rx`.
+#[derive(Clone, Debug)]
+pub struct RssMatrix {
+    n: usize,
+    values: Vec<Dbm>,
+}
+
+impl RssMatrix {
+    /// A matrix of `n` nodes with every entry at [`Dbm::FLOOR`] (no node
+    /// hears any other).
+    pub fn disconnected(n: usize) -> RssMatrix {
+        RssMatrix { n, values: vec![Dbm::FLOOR; n * n] }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// RSS of `tx` as heard at `rx`. A node does not hear itself; querying
+    /// the diagonal returns the floor.
+    pub fn get(&self, tx: NodeId, rx: NodeId) -> Dbm {
+        if tx == rx {
+            return Dbm::FLOOR;
+        }
+        self.values[tx.index() * self.n + rx.index()]
+    }
+
+    /// Set the RSS of the directed pair `tx → rx`.
+    pub fn set(&mut self, tx: NodeId, rx: NodeId, rss: Dbm) {
+        assert!(tx != rx, "diagonal RSS is meaningless");
+        self.values[tx.index() * self.n + rx.index()] = rss;
+    }
+
+    /// Set both directions of a pair to the same value (radio links are
+    /// close to reciprocal at these time scales).
+    pub fn set_symmetric(&mut self, a: NodeId, b: NodeId, rss: Dbm) {
+        self.set(a, b, rss);
+        self.set(b, a, rss);
+    }
+
+    /// Iterate over all ordered pairs `(tx, rx, rss)` above the given
+    /// floor.
+    pub fn iter_audible(&self, floor: Dbm) -> impl Iterator<Item = (NodeId, NodeId, Dbm)> + '_ {
+        (0..self.n as u32).flat_map(move |t| {
+            (0..self.n as u32).filter_map(move |r| {
+                let (tx, rx) = (NodeId(t), NodeId(r));
+                let rss = self.get(tx, rx);
+                (tx != rx && rss >= floor).then_some((tx, rx, rss))
+            })
+        })
+    }
+
+    /// Nodes whose transmissions `rx` hears at or above `floor`.
+    pub fn audible_at(&self, rx: NodeId, floor: Dbm) -> Vec<NodeId> {
+        (0..self.n as u32)
+            .map(NodeId)
+            .filter(|&tx| tx != rx && self.get(tx, rx) >= floor)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disconnected_matrix_is_floor() {
+        let m = RssMatrix::disconnected(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(NodeId(0), NodeId(2)), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn set_get_directed() {
+        let mut m = RssMatrix::disconnected(3);
+        m.set(NodeId(0), NodeId(1), Dbm(-60.0));
+        assert_eq!(m.get(NodeId(0), NodeId(1)), Dbm(-60.0));
+        assert_eq!(m.get(NodeId(1), NodeId(0)), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn symmetric_setter() {
+        let mut m = RssMatrix::disconnected(4);
+        m.set_symmetric(NodeId(1), NodeId(3), Dbm(-70.0));
+        assert_eq!(m.get(NodeId(1), NodeId(3)), Dbm(-70.0));
+        assert_eq!(m.get(NodeId(3), NodeId(1)), Dbm(-70.0));
+    }
+
+    #[test]
+    fn diagonal_is_floor() {
+        let m = RssMatrix::disconnected(2);
+        assert_eq!(m.get(NodeId(1), NodeId(1)), Dbm::FLOOR);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        let mut m = RssMatrix::disconnected(2);
+        m.set(NodeId(0), NodeId(0), Dbm(-10.0));
+    }
+
+    #[test]
+    fn audible_iteration() {
+        let mut m = RssMatrix::disconnected(3);
+        m.set(NodeId(0), NodeId(1), Dbm(-60.0));
+        m.set(NodeId(2), NodeId(1), Dbm(-90.0));
+        let floor = Dbm(-82.0);
+        let pairs: Vec<_> = m.iter_audible(floor).collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, NodeId(0));
+        assert_eq!(m.audible_at(NodeId(1), floor), vec![NodeId(0)]);
+        assert_eq!(m.audible_at(NodeId(1), Dbm(-95.0)).len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build an enterprise WLAN from the bundled 40-node trace,
+//! run the same workload under DCF and DOMINO, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use domino::core::{scenarios, Scheme, SimulationBuilder};
+
+fn main() {
+    // The paper's T(10,2): 10 APs with 2 clients each, drawn from the
+    // synthetic two-building measurement trace exactly as the paper
+    // draws its topologies from its testbed trace (§4.2.1).
+    let network = scenarios::standard_t(10, 2, 1);
+    println!(
+        "network: {} nodes, {} links ({} APs)",
+        network.num_nodes(),
+        network.links().len(),
+        network.aps().len()
+    );
+
+    // The Fig 12 workload at zero uplink: 10 Mb/s downlink UDP per link,
+    // 2 simulated seconds.
+    let builder = SimulationBuilder::new(network)
+        .udp(10e6, 0.0)
+        .duration_s(2.0)
+        .seed(42);
+
+    for scheme in [Scheme::Dcf, Scheme::Centaur, Scheme::Domino, Scheme::Omniscient] {
+        let report = builder.run(scheme);
+        println!(
+            "{:<10}  {:6.2} Mb/s aggregate   fairness {:.2}   mean delay {:7.2} ms",
+            scheme.label(),
+            report.aggregate_mbps(),
+            report.fairness(),
+            report.mean_delay_us() / 1000.0
+        );
+    }
+
+    let domino = builder.run(Scheme::Domino);
+    let dcf = builder.run(Scheme::Dcf);
+    println!("\nDOMINO/DCF throughput gain: {:.2}x", domino.gain_over(&dcf));
+}

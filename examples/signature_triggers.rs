@@ -1,0 +1,81 @@
+//! Gold-code signature triggers at the sample level: the mechanism that
+//! lets DOMINO "clock" a network without clocks (paper §3.2, Fig 9).
+//!
+//! A trigger must be detectable (a) without decoding anything, (b) under
+//! interference from other signatures summed into the same burst, and
+//! (c) well below the packet-decoding SINR. This example demonstrates all
+//! three with the real 127-chip correlator.
+//!
+//! ```text
+//! cargo run --release --example signature_triggers
+//! ```
+
+use domino::phy::gold::GoldFamily;
+use domino::phy::signature::{synthesize_burst, Correlator, SenderSpec};
+use domino::sim::rng::streams;
+use domino::sim::SimRng;
+
+fn main() {
+    let family = GoldFamily::degree7();
+    let mut rng = SimRng::derive(7, streams::PHY_SAMPLES);
+    let correlator = Correlator::default();
+
+    println!(
+        "Gold family: {} codes of length {}, cross-correlation bounded by 17/127\n",
+        family.len(),
+        family.code(0).len()
+    );
+
+    // (a) A lone signature: clean detection.
+    let burst = synthesize_burst(&family, &[SenderSpec::simple(vec![42])], 0.05, &mut rng);
+    let peak = correlator.peak(&burst, family.code(42));
+    let miss = correlator.peak(&burst, family.code(99));
+    println!("lone signature 42:   own metric {:.2}, absent code 99 metric {:.2}", peak.metric, miss.metric);
+
+    // (b) Four signatures summed in one burst (DOMINO's outbound cap).
+    let combined = vec![3usize, 17, 88, 120];
+    let burst = synthesize_burst(
+        &family,
+        &[SenderSpec::simple(combined.clone())],
+        0.05,
+        &mut rng,
+    );
+    let mut candidates = combined.clone();
+    candidates.push(59); // false-positive probe
+    let detected = correlator.detect(&family, &burst, &candidates);
+    println!("4-signature burst:   detected {detected:?} (59 was not sent)");
+
+    // (c) Detection under a much stronger interferer: the target
+    // signature arrives 12 dB below an unrelated one, a situation where a
+    // packet would be lost outright.
+    let weak = SenderSpec {
+        code_indices: vec![5],
+        delay_chips: 2,
+        phase: 0.7,
+        amplitude: 10f64.powf(-12.0 / 20.0),
+    };
+    let strong = SenderSpec::simple(vec![77]);
+    let burst = synthesize_burst(&family, &[weak, strong], 0.05, &mut rng);
+    let det = Correlator {
+        reference_amplitude: 10f64.powf(-12.0 / 20.0),
+        ..Correlator::default()
+    };
+    let hits = det.detect(&family, &burst, &[5, 77]);
+    println!("-12 dB SINR trigger: detected {hits:?} (correlation gain at work)");
+
+    // Detection ratio vs combined count, abbreviated Fig 9.
+    println!("\ncombined  detection ratio (200 runs, 1 sender)");
+    for k in 1..=7 {
+        let stats = domino::phy::signature::detection_experiment(
+            &family,
+            domino::phy::signature::Fig9Setup::OneSender,
+            k,
+            10.0,
+            200,
+            &mut rng,
+        );
+        let bar = "#".repeat((stats.detection_ratio * 40.0) as usize);
+        println!("{k:>8}  {:>5.1}%  {bar}", stats.detection_ratio * 100.0);
+    }
+    println!("\nDOMINO caps bursts at 4 combined signatures for exactly this reason.");
+}

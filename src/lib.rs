@@ -1,0 +1,21 @@
+//! # domino
+//!
+//! Umbrella crate for the DOMINO (CoNEXT'13) reproduction: re-exports the
+//! high-level API from [`domino_core`] plus the substrate crates, and hosts
+//! the workspace's runnable examples and cross-crate integration tests.
+//!
+//! Start with [`domino_core`]'s `SimulationBuilder`; see `examples/` for
+//! runnable scenarios and `DESIGN.md` for the full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use domino_core as core;
+pub use domino_mac as mac;
+pub use domino_medium as medium;
+pub use domino_phy as phy;
+pub use domino_scheduler as scheduler;
+pub use domino_sim as sim;
+pub use domino_stats as stats;
+pub use domino_topology as topology;
+pub use domino_traffic as traffic;
+pub use domino_wired as wired;

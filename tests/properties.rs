@@ -1,0 +1,197 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants, spanning crates.
+
+use domino::phy::gold::{m_sequence, GoldFamily};
+use domino::phy::units::{Db, Dbm};
+use domino::scheduler::{Converter, ConverterConfig, RandScheduler};
+use domino::sim::{Engine, SimDuration, SimTime};
+use domino::stats::{jain_index, Cdf};
+use domino::topology::conflict::ConflictGraph;
+use domino::topology::network::{make_node, Network, PhyParams};
+use domino::topology::node::{NodeRole, Position};
+use domino::topology::rss::RssMatrix;
+use domino::topology::{LinkId, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn engine_delivers_in_nondecreasing_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = engine.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn engine_same_time_events_are_fifo(n in 1usize..100) {
+        let mut engine = Engine::new();
+        let t = SimTime::from_micros(10);
+        for i in 0..n {
+            engine.schedule_at(t, i);
+        }
+        let mut expected = 0;
+        while let Some((_, v)) = engine.pop() {
+            prop_assert_eq!(v, expected);
+            expected += 1;
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        let t = SimTime::from_nanos(a);
+        prop_assert_eq!((t + db) - db, t);
+    }
+
+    #[test]
+    fn dbm_power_sum_is_commutative_and_dominant(a in -100.0f64..0.0, b in -100.0f64..0.0) {
+        let s1 = Dbm(a).power_sum(Dbm(b));
+        let s2 = Dbm(b).power_sum(Dbm(a));
+        prop_assert!((s1.value() - s2.value()).abs() < 1e-9);
+        prop_assert!(s1.value() >= a.max(b) - 1e-9);
+        prop_assert!(s1.value() <= a.max(b) + 3.02);
+    }
+
+    #[test]
+    fn db_round_trips_through_linear(x in -80.0f64..80.0) {
+        let db = Db(x);
+        let back = Db::from_linear(db.to_linear());
+        prop_assert!((back.value() - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_bounds(alloc in prop::collection::vec(0.0f64..100.0, 1..40)) {
+        let j = jain_index(&alloc);
+        prop_assert!(j >= 1.0 / alloc.len() as f64 - 1e-9);
+        prop_assert!(j <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples);
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m_sequences_are_balanced(degree in 3u32..10) {
+        // Every maximal-length sequence has |#1s - #0s| = 1.
+        let taps: &[u32] = match degree {
+            3 => &[3, 2],
+            4 => &[4, 3],
+            5 => &[5, 3],
+            6 => &[6, 5],
+            7 => &[7, 3],
+            8 => &[8, 6, 5, 4],
+            _ => &[9, 5],
+        };
+        let code = m_sequence(degree, taps);
+        let sum: i32 = code.chips().iter().map(|&c| i32::from(c)).sum();
+        prop_assert_eq!(sum.abs(), 1);
+    }
+
+    #[test]
+    fn rand_scheduler_slots_always_independent(
+        seed_backlog in prop::collection::vec(0u32..5, 8),
+        cross in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        // 4 AP-client pairs with random interference pattern.
+        let nodes: Vec<_> = (0..4u32)
+            .flat_map(|i| {
+                [
+                    make_node(2 * i, NodeRole::Ap, None, Position::default()),
+                    make_node(2 * i + 1, NodeRole::Client, Some(2 * i), Position::default()),
+                ]
+            })
+            .collect();
+        let mut rss = RssMatrix::disconnected(8);
+        for i in 0..4u32 {
+            rss.set_symmetric(NodeId(2 * i), NodeId(2 * i + 1), Dbm(-55.0));
+        }
+        for (k, &c) in cross.iter().enumerate() {
+            if c {
+                let i = k as u32;
+                let j = (k as u32 + 1) % 4;
+                rss.set_symmetric(NodeId(2 * i), NodeId(2 * j + 1), Dbm(-60.0));
+            }
+        }
+        let net = Network::new(nodes, rss, PhyParams::default());
+        let graph = ConflictGraph::build_for_scheduling(&net);
+        let mut sched = RandScheduler::new(net.links().len());
+        let mut backlog = seed_backlog.clone();
+        let strict = sched.schedule_batch(&graph, &mut backlog, 10);
+        for slot in &strict.slots {
+            prop_assert!(graph.is_independent(slot));
+        }
+        // Conservation: consumed packets equal scheduled entries.
+        let consumed: u32 = seed_backlog.iter().zip(&backlog).map(|(a, b)| a - b).sum();
+        let scheduled: usize = strict.slots.iter().map(Vec::len).sum();
+        prop_assert_eq!(consumed as usize, scheduled);
+    }
+
+    #[test]
+    fn converter_respects_caps_on_random_schedules(
+        backlog in prop::collection::vec(0u32..4, 8),
+        batch_slots in 1usize..8,
+    ) {
+        let nodes: Vec<_> = (0..4u32)
+            .flat_map(|i| {
+                [
+                    make_node(2 * i, NodeRole::Ap, None, Position::default()),
+                    make_node(2 * i + 1, NodeRole::Client, Some(2 * i), Position::default()),
+                ]
+            })
+            .collect();
+        let mut rss = RssMatrix::disconnected(8);
+        for i in 0..4u32 {
+            rss.set_symmetric(NodeId(2 * i), NodeId(2 * i + 1), Dbm(-55.0));
+            for j in (i + 1)..4u32 {
+                rss.set_symmetric(NodeId(2 * i), NodeId(2 * j), Dbm(-75.0));
+            }
+        }
+        let net = Network::new(nodes, rss, PhyParams::default());
+        let graph = ConflictGraph::build_for_scheduling(&net);
+        let mut sched = RandScheduler::new(net.links().len());
+        let mut conv = Converter::new(ConverterConfig::default());
+        let mut b = backlog.clone();
+        let strict = sched.schedule_batch(&graph, &mut b, batch_slots);
+        let outcome = conv.convert(&net, &graph, &strict, &net.aps());
+        for slot in &outcome.batch.slots {
+            let links: Vec<LinkId> = slot.entries.iter().map(|e| e.link).collect();
+            prop_assert!(graph.is_independent(&links));
+            let mut inbound = std::collections::HashMap::new();
+            for burst in &slot.bursts {
+                prop_assert!(burst.targets.len() <= 4);
+                for t in &burst.targets {
+                    *inbound.entry(*t).or_insert(0usize) += 1;
+                }
+            }
+            for (_, count) in inbound {
+                prop_assert!(count <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn gold_codes_cross_correlation_is_bounded(i in 0usize..129, j in 0usize..129, shift in 0usize..127) {
+        let family = GoldFamily::degree7();
+        if i != j {
+            let c = family.code(i).periodic_correlation(family.code(j), shift);
+            prop_assert!(c.abs() <= 17, "corr {} for ({}, {}) at {}", c, i, j, shift);
+        }
+    }
+}
