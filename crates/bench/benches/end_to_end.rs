@@ -2,21 +2,17 @@
 //! runs under each scheme (how much simulated time per real second the
 //! reproduction delivers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use domino_core::{scenarios, Scheme, SimulationBuilder};
+use domino_testkit::bench::Harness;
 
-fn schemes(c: &mut Criterion) {
+fn main() {
     let net = scenarios::fig7();
     let builder = SimulationBuilder::new(net).udp(10e6, 5e6).duration_s(0.2).seed(1);
-    let mut group = c.benchmark_group("end_to_end/fig7_200ms");
-    group.sample_size(10);
+    let mut h = Harness::new("end_to_end");
     for scheme in [Scheme::Dcf, Scheme::Centaur, Scheme::Domino, Scheme::Omniscient] {
-        group.bench_function(scheme.label(), |b| {
-            b.iter(|| builder.run(scheme).aggregate_mbps())
+        h.bench(&format!("end_to_end/fig7_200ms/{}", scheme.label()), || {
+            builder.run(scheme).aggregate_mbps()
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, schemes);
-criterion_main!(benches);

@@ -2,75 +2,58 @@
 //! second the substrate can push through (the 50 s T(10,2) runs of the
 //! paper's evaluation are tens of millions of events).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use domino_sim::{Engine, SimDuration, SimTime};
+use domino_testkit::bench::Harness;
 
-fn engine_throughput(c: &mut Criterion) {
-    c.bench_function("engine/schedule_pop_10k", |b| {
-        b.iter_batched(
-            Engine::<u32>::new,
-            |mut engine| {
-                for i in 0..10_000u32 {
-                    engine.schedule_at(SimTime::from_micros(u64::from(i % 997)), i);
-                }
-                let mut sum = 0u64;
-                while let Some((_, v)) = engine.pop() {
-                    sum += u64::from(v);
-                }
-                sum
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    let mut h = Harness::new("engine");
+
+    h.bench_with_setup("engine/schedule_pop_10k", Engine::<u32>::new, |mut engine| {
+        for i in 0..10_000u32 {
+            engine.schedule_at(SimTime::from_micros(u64::from(i % 997)), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = engine.pop() {
+            sum += u64::from(v);
+        }
+        sum
     });
 
-    c.bench_function("engine/timer_churn", |b| {
-        b.iter_batched(
-            || {
-                let mut e = Engine::<u32>::new();
-                e.schedule_at(SimTime::from_micros(1), 0);
-                e
-            },
-            |mut engine| {
-                // Schedule-then-cancel churn, the pattern of backoff
-                // freeze/resume.
-                let mut handles = Vec::with_capacity(100);
-                for round in 0..100u64 {
-                    for i in 0..100u32 {
-                        handles.push(engine.schedule_at(
-                            SimTime::from_micros(10 + round * 10),
-                            i,
-                        ));
-                    }
-                    for h in handles.drain(..) {
-                        engine.cancel(h);
-                    }
+    h.bench_with_setup(
+        "engine/timer_churn",
+        || {
+            let mut e = Engine::<u32>::new();
+            e.schedule_at(SimTime::from_micros(1), 0);
+            e
+        },
+        |mut engine| {
+            // Schedule-then-cancel churn, the pattern of backoff
+            // freeze/resume.
+            let mut handles = Vec::with_capacity(100);
+            for round in 0..100u64 {
+                for i in 0..100u32 {
+                    handles.push(engine.schedule_at(SimTime::from_micros(10 + round * 10), i));
                 }
-                engine.pending()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+                for h in handles.drain(..) {
+                    engine.cancel(h);
+                }
+            }
+            engine.pending()
+        },
+    );
 
-    c.bench_function("engine/fifo_ties", |b| {
-        b.iter_batched(
-            Engine::<u32>::new,
-            |mut engine| {
-                let t = SimTime::from_micros(5);
-                for i in 0..1_000u32 {
-                    engine.schedule_at(t, i);
-                }
-                let mut last = 0;
-                while let Some((_, v)) = engine.pop() {
-                    last = v;
-                }
-                last
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench_with_setup("engine/fifo_ties", Engine::<u32>::new, |mut engine| {
+        let t = SimTime::from_micros(5);
+        for i in 0..1_000u32 {
+            engine.schedule_at(t, i);
+        }
+        let mut last = 0;
+        while let Some((_, v)) = engine.pop() {
+            last = v;
+        }
+        last
     });
 
     let _ = SimDuration::ZERO;
+    h.finish();
 }
-
-criterion_group!(benches, engine_throughput);
-criterion_main!(benches);

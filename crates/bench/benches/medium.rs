@@ -1,15 +1,15 @@
 //! Microbenchmark of the SINR medium: begin/end cycles with concurrent
 //! interferers — the inner loop of every network-scale experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use domino_medium::{Frame, FrameBody, Medium};
 use domino_sim::SimTime;
+use domino_testkit::bench::Harness;
 use domino_topology::builder::t_topology;
 use domino_topology::trace::{generate, TraceConfig};
 use domino_topology::{LinkId, PhyParams};
 use domino_traffic::{FlowId, Packet, PacketId, PacketKind};
 
-fn medium_cycle(c: &mut Criterion) {
+fn main() {
     let trace = generate(&TraceConfig::default(), 0xD0311);
     let net = t_topology(&trace, 10, 2, PhyParams::default(), 1).expect("T(10,2)");
 
@@ -31,28 +31,27 @@ fn medium_cycle(c: &mut Criterion) {
         bits: 4096,
     };
 
-    c.bench_function("medium/4_concurrent_exchanges_T10_2", |b| {
-        let mut medium = Medium::new(net.clone(), 1);
-        let mut t = 0u64;
-        let mut serial = 0u64;
-        b.iter(|| {
-            t += 1_000_000;
-            let start = SimTime::from_nanos(t);
-            let mut txs = Vec::new();
-            // Four spatially separate downlinks transmit together.
-            for link in [0u32, 8, 16, 24] {
-                serial += 1;
-                txs.push(medium.begin(start, data_frame(link, serial)));
-            }
-            let end = SimTime::from_nanos(t + 385_000);
-            let mut ok = 0;
-            for tx in txs {
-                ok += medium.end(tx, end).iter().filter(|r| r.success).count();
-            }
-            ok
-        })
-    });
-}
+    let mut h = Harness::new("medium");
 
-criterion_group!(benches, medium_cycle);
-criterion_main!(benches);
+    let mut medium = Medium::new(net.clone(), 1);
+    let mut t = 0u64;
+    let mut serial = 0u64;
+    h.bench("medium/4_concurrent_exchanges_T10_2", || {
+        t += 1_000_000;
+        let start = SimTime::from_nanos(t);
+        let mut txs = Vec::new();
+        // Four spatially separate downlinks transmit together.
+        for link in [0u32, 8, 16, 24] {
+            serial += 1;
+            txs.push(medium.begin(start, data_frame(link, serial)));
+        }
+        let end = SimTime::from_nanos(t + 385_000);
+        let mut ok = 0;
+        for tx in txs {
+            ok += medium.end(tx, end).iter().filter(|r| r.success).count();
+        }
+        ok
+    });
+
+    h.finish();
+}

@@ -2,49 +2,45 @@
 //! encode/decode pipeline, and the Gold-code correlator with SIC — the
 //! pieces a real-time SDR implementation would care about.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use domino_phy::complex::Complex;
 use domino_phy::fft::{fft, ifft};
 use domino_phy::gold::GoldFamily;
-use domino_phy::ofdm::{decode_symbol, encode_queue_symbol, combine_at_ap, DecoderConfig, RopSymbolConfig};
 use domino_phy::ofdm::signalgen::ClientChannel;
+use domino_phy::ofdm::{
+    combine_at_ap, decode_symbol, encode_queue_symbol, DecoderConfig, RopSymbolConfig,
+};
 use domino_phy::signature::{synthesize_burst, Correlator, SenderSpec};
 use domino_sim::rng::streams;
 use domino_sim::SimRng;
+use domino_testkit::bench::Harness;
 
-fn fft_bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("phy_dsp");
+
     let mut data: Vec<Complex> = (0..256)
         .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
         .collect();
-    c.bench_function("phy/fft256_roundtrip", |b| {
-        b.iter(|| {
-            fft(&mut data);
-            ifft(&mut data);
-            data[0]
-        })
+    h.bench("phy/fft256_roundtrip", || {
+        fft(&mut data);
+        ifft(&mut data);
+        data[0]
     });
-}
 
-fn rop_pipeline(c: &mut Criterion) {
     let cfg = RopSymbolConfig::default();
     let layout = cfg.layout();
     let mut rng = SimRng::derive(1, streams::PHY_SAMPLES);
-    c.bench_function("phy/rop_24_clients_encode_decode", |b| {
-        b.iter(|| {
-            let symbols: Vec<_> = (0..24)
-                .map(|sc| {
-                    encode_queue_symbol(&cfg, &layout, sc, (sc as u32 * 7) % 64, &ClientChannel::ideal())
-                })
-                .collect();
-            let rx = combine_at_ap(&symbols, 0.001, 10, &mut rng);
-            let all: Vec<usize> = (0..24).collect();
-            let (reports, _) = decode_symbol(&cfg, &layout, &rx, &all, &DecoderConfig::default());
-            reports.len()
-        })
+    h.bench("phy/rop_24_clients_encode_decode", || {
+        let symbols: Vec<_> = (0..24)
+            .map(|sc| {
+                encode_queue_symbol(&cfg, &layout, sc, (sc as u32 * 7) % 64, &ClientChannel::ideal())
+            })
+            .collect();
+        let rx = combine_at_ap(&symbols, 0.001, 10, &mut rng);
+        let all: Vec<usize> = (0..24).collect();
+        let (reports, _) = decode_symbol(&cfg, &layout, &rx, &all, &DecoderConfig::default());
+        reports.len()
     });
-}
 
-fn correlator(c: &mut Criterion) {
     let family = GoldFamily::degree7();
     let mut rng = SimRng::derive(2, streams::PHY_SAMPLES);
     let burst = synthesize_burst(
@@ -54,14 +50,11 @@ fn correlator(c: &mut Criterion) {
         &mut rng,
     );
     let det = Correlator::default();
-    c.bench_function("phy/correlator_detect_4_of_8", |b| {
-        b.iter(|| det.detect(&family, &burst, &[3, 40, 90, 120, 7, 55, 99, 11]).len())
+    h.bench("phy/correlator_detect_4_of_8", || {
+        det.detect(&family, &burst, &[3, 40, 90, 120, 7, 55, 99, 11]).len()
     });
 
-    c.bench_function("phy/gold_family_generation", |b| {
-        b.iter(|| GoldFamily::degree7().len())
-    });
+    h.bench("phy/gold_family_generation", || GoldFamily::degree7().len());
+
+    h.finish();
 }
-
-criterion_group!(benches, fft_bench, rop_pipeline, correlator);
-criterion_main!(benches);

@@ -3,40 +3,39 @@
 //! paper's T(10,2) topology. The controller must finish a batch well
 //! inside one slot (~0.5 ms) for the pipeline to hold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use domino_scheduler::{Converter, ConverterConfig, RandScheduler, StrictSchedule};
+use domino_testkit::bench::Harness;
 use domino_topology::builder::t_topology;
 use domino_topology::trace::{generate, TraceConfig};
 use domino_topology::{ConflictGraph, PhyParams};
 
-fn controller(c: &mut Criterion) {
+fn main() {
     let trace = generate(&TraceConfig::default(), 0xD0311);
     let net = t_topology(&trace, 10, 2, PhyParams::default(), 1).expect("T(10,2)");
     let graph = ConflictGraph::build(&net);
 
-    c.bench_function("sched/conflict_graph_T10_2", |b| {
-        b.iter(|| ConflictGraph::build(&net).len())
-    });
+    let mut h = Harness::new("scheduling");
 
-    c.bench_function("sched/rand_batch_5_slots", |b| {
+    h.bench("sched/conflict_graph_T10_2", || ConflictGraph::build(&net).len());
+
+    {
         let mut sched = RandScheduler::new(net.links().len());
-        b.iter(|| {
+        h.bench("sched/rand_batch_5_slots", || {
             let mut backlog = vec![10u32; net.links().len()];
             sched.schedule_batch(&graph, &mut backlog, 5).len()
-        })
-    });
+        });
+    }
 
-    c.bench_function("sched/convert_batch_5_slots", |b| {
+    {
         let mut sched = RandScheduler::new(net.links().len());
         let mut conv = Converter::new(ConverterConfig::default());
         let aps = net.aps();
-        b.iter(|| {
+        h.bench("sched/convert_batch_5_slots", || {
             let mut backlog = vec![10u32; net.links().len()];
             let strict: StrictSchedule = sched.schedule_batch(&graph, &mut backlog, 5);
             conv.convert(&net, &graph, &strict, &aps).batch.total_entries()
-        })
-    });
-}
+        });
+    }
 
-criterion_group!(benches, controller);
-criterion_main!(benches);
+    h.finish();
+}

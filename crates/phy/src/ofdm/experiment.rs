@@ -239,10 +239,20 @@ mod tests {
 
     #[test]
     fn snr_floor_near_4db() {
-        let pts = snr_sweep(&[0.0, 4.0, 8.0], 100, 5);
+        // The decode transition sits around -4..0 dB; at 0 dB the ratio
+        // already saturates near 1.0, so the "degrades at low SNR" check
+        // must use a point well inside the transition band (-6 dB decodes
+        // ~10 % of the time) rather than comparing 0 dB against 8 dB —
+        // with 100 trials both round to 1.0 and a strict `<` is a coin
+        // flip over seeds.
+        let pts = snr_sweep(&[-6.0, 4.0, 8.0], 100, 5);
         let ratio = |snr: f64| pts.iter().find(|(s, _)| *s == snr).unwrap().1;
         assert!(ratio(4.0) > 0.9, "4 dB should decode: {}", ratio(4.0));
         assert!(ratio(8.0) > 0.98);
-        assert!(ratio(0.0) < ratio(8.0));
+        assert!(
+            ratio(-6.0) < 0.5,
+            "-6 dB should be deep in the failure band: {}",
+            ratio(-6.0)
+        );
     }
 }

@@ -7,136 +7,17 @@
 //! consumes: the wired-jitter stream, the PHY-error stream, and the traffic
 //! stream never perturb each other.
 //!
-//! The generator itself is `rand`'s `StdRng` seeded through SplitMix64
-//! expansion of `(master_seed, stream)`. Normal deviates use Box–Muller so we
-//! do not need a distributions crate.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step; used to expand a (seed, stream) pair into 32 seed bytes.
-#[inline]
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+//! The generator itself is `domino-testkit`'s in-tree xoshiro256++, seeded
+//! through SplitMix64 expansion of `(master_seed, stream)` — no external
+//! `rand` crate, so the workspace builds hermetically. Normal deviates use
+//! Box–Muller. See [`domino_testkit::rng`] for the full API.
 
 /// A deterministic RNG stream for one simulator subsystem.
-pub struct SimRng {
-    inner: StdRng,
-    /// Cached second Box–Muller deviate.
-    spare_normal: Option<f64>,
-}
-
-impl SimRng {
-    /// Derive a stream from the run's master seed and a stream label.
-    ///
-    /// The label should be a stable constant per subsystem (see
-    /// [`streams`]). Distinct labels yield statistically independent
-    /// streams for the same master seed.
-    pub fn derive(master_seed: u64, stream: u64) -> Self {
-        let mut state = master_seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
-        let mut seed = [0u8; 32];
-        for chunk in seed.chunks_exact_mut(8) {
-            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
-        }
-        SimRng { inner: StdRng::from_seed(seed), spare_normal: None }
-    }
-
-    /// Uniform in `[0, 1)`.
-    #[inline]
-    pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
-    }
-
-    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
-    #[inline]
-    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi, "empty range");
-        lo + (hi - lo) * self.uniform()
-    }
-
-    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
-    #[inline]
-    pub fn below(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
-    }
-
-    /// Uniform integer in the inclusive range `[lo, hi]`.
-    #[inline]
-    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
-    }
-
-    /// Bernoulli trial with probability `p` of `true` (clamped to [0, 1]).
-    #[inline]
-    pub fn chance(&mut self, p: f64) -> bool {
-        if p <= 0.0 {
-            false
-        } else if p >= 1.0 {
-            true
-        } else {
-            self.uniform() < p
-        }
-    }
-
-    /// Standard normal deviate via Box–Muller.
-    pub fn standard_normal(&mut self) -> f64 {
-        if let Some(z) = self.spare_normal.take() {
-            return z;
-        }
-        // Draw u1 in (0,1] to keep ln() finite.
-        let u1 = 1.0 - self.uniform();
-        let u2 = self.uniform();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * core::f64::consts::PI * u2;
-        self.spare_normal = Some(r * theta.sin());
-        r * theta.cos()
-    }
-
-    /// Normal deviate with the given mean and standard deviation.
-    #[inline]
-    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev >= 0.0, "negative std dev");
-        mean + std_dev * self.standard_normal()
-    }
-
-    /// Exponential deviate with the given mean.
-    #[inline]
-    pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean > 0.0, "non-positive mean");
-        -mean * (1.0 - self.uniform()).ln()
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        for i in (1..items.len()).rev() {
-            let j = self.below(i as u64 + 1) as usize;
-            items.swap(i, j);
-        }
-    }
-
-    /// Pick a uniformly random element index, or `None` for an empty slice.
-    #[inline]
-    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
-        if len == 0 {
-            None
-        } else {
-            Some(self.below(len as u64) as usize)
-        }
-    }
-
-    /// Raw 64-bit draw (for deriving sub-streams or hashing).
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-}
+///
+/// Re-exported from `domino-testkit` so the simulator, the PHY and the
+/// property tests all share one generator implementation (and therefore one
+/// definition of "same seed ⇒ same run").
+pub use domino_testkit::rng::Rng as SimRng;
 
 /// Stable stream labels for the simulator's subsystems.
 pub mod streams {

@@ -1,0 +1,293 @@
+//! A lightweight wall-clock benchmark harness (criterion replacement).
+//!
+//! Each benchmark target is a plain binary (`harness = false`) whose `main`
+//! builds a [`Harness`], registers functions with [`Harness::bench`] /
+//! [`Harness::bench_with_setup`], and calls [`Harness::finish`]. Measurement
+//! is sample-based: after a warmup, the routine runs `samples` batches of a
+//! calibrated iteration count and the per-iteration wall time of each batch
+//! is recorded; the report gives median / p95 / mean / min over batches.
+//!
+//! Reporting: a plain-text table on stdout (same spirit as the experiment
+//! tables under `results/`), plus a JSON summary written to
+//! `$TESTKIT_BENCH_JSON/<group>.json` when that environment variable names a
+//! directory.
+//!
+//! Environment knobs:
+//! * `TESTKIT_BENCH_FULL=1` — criterion-like rigor (more samples, longer
+//!   batches). Default is a quick mode that keeps every target under a
+//!   second so benches stay cheap to smoke-test in CI.
+//! * `TESTKIT_BENCH_JSON=<dir>` — write machine-readable results there.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink; prevents the optimizer from deleting the benchmarked
+/// computation. Re-exported so benches need no direct `std::hint` import.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Summary statistics for one benchmarked function (per-iteration times).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Function name within the group.
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time in nanoseconds.
+    pub p95_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Iterations per measured sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Measurement configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Number of timed samples per function.
+    pub samples: usize,
+    /// Wall-clock target for one sample; iteration count is calibrated to it.
+    pub sample_time: Duration,
+    /// Wall-clock spent warming up before calibration.
+    pub warmup_time: Duration,
+    /// Hard cap on iterations per sample (protects very fast routines).
+    pub max_iters_per_sample: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        if std::env::var("TESTKIT_BENCH_FULL").map(|v| v == "1").unwrap_or(false) {
+            BenchConfig {
+                samples: 60,
+                sample_time: Duration::from_millis(50),
+                warmup_time: Duration::from_millis(500),
+                max_iters_per_sample: 1 << 24,
+            }
+        } else {
+            BenchConfig {
+                samples: 15,
+                sample_time: Duration::from_millis(8),
+                warmup_time: Duration::from_millis(40),
+                max_iters_per_sample: 1 << 20,
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks; prints its table and writes JSON on
+/// [`finish`](Harness::finish).
+pub struct Harness {
+    group: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Create a harness for a bench group (conventionally the target name).
+    pub fn new(group: &str) -> Harness {
+        Harness { group: group.to_string(), config: BenchConfig::default(), results: Vec::new() }
+    }
+
+    /// Override the measurement configuration.
+    pub fn with_config(mut self, config: BenchConfig) -> Harness {
+        self.config = config;
+        self
+    }
+
+    /// Benchmark `routine`, timing repeated calls.
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        let result = measure(&self.config, &mut || {
+            black_box(routine());
+        });
+        self.push(name, result);
+    }
+
+    /// Benchmark `routine` on a fresh value from `setup` each iteration;
+    /// only the routine is timed (criterion's `iter_batched`).
+    pub fn bench_with_setup<T, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) {
+        // Setup cost is excluded by timing each iteration individually.
+        let config = self.config;
+        let mut samples = Vec::with_capacity(config.samples);
+        let warmup_deadline = Instant::now() + config.warmup_time;
+        while Instant::now() < warmup_deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            black_box(start.elapsed());
+        }
+        let mut taken = 0usize;
+        while taken < config.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+            taken += 1;
+        }
+        self.push(name, summarize(samples, 1));
+    }
+
+    fn push(&mut self, name: &str, mut result: BenchResult) {
+        result.name = name.to_string();
+        self.results.push(result);
+    }
+
+    /// Print the report table and write the JSON summary; call last.
+    pub fn finish(self) {
+        println!("# bench group: {}", self.group);
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>12}",
+            "name", "median", "p95", "mean", "min"
+        );
+        for r in &self.results {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12} {:>12}",
+                r.name,
+                format_ns(r.median_ns),
+                format_ns(r.p95_ns),
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+            );
+        }
+        if let Ok(dir) = std::env::var("TESTKIT_BENCH_JSON") {
+            if !dir.is_empty() {
+                if let Err(e) = self.write_json(&dir) {
+                    eprintln!("testkit-bench: failed to write JSON to {dir}: {e}");
+                }
+            }
+        }
+    }
+
+    fn write_json(&self, dir: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = std::path::Path::new(dir).join(format!("{}.json", self.group));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n  \"results\": [\n", self.group));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \
+                 \"samples\": {}}}{}\n",
+                r.name,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Warmup, calibrate the per-sample iteration count, then take timed samples.
+fn measure(config: &BenchConfig, routine: &mut dyn FnMut()) -> BenchResult {
+    // Warmup and cost estimate in one pass.
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < config.warmup_time {
+        routine();
+        warmup_iters += 1;
+    }
+    let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+    let iters = ((config.sample_time.as_nanos() as f64 / est_ns).ceil() as u64)
+        .clamp(1, config.max_iters_per_sample);
+
+    let mut samples = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    summarize(samples, iters)
+}
+
+fn summarize(mut samples: Vec<f64>, iters_per_sample: u64) -> BenchResult {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    let percentile = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+    BenchResult {
+        name: String::new(),
+        median_ns: percentile(0.5),
+        p95_ns: percentile(0.95),
+        mean_ns: samples.iter().sum::<f64>() / n as f64,
+        min_ns: samples[0],
+        iters_per_sample,
+        samples: n,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            samples: 5,
+            sample_time: Duration::from_micros(200),
+            warmup_time: Duration::from_micros(200),
+            max_iters_per_sample: 1000,
+        }
+    }
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let mut h = Harness::new("unit").with_config(tiny());
+        h.bench("noop_sum", || (0..100u64).sum::<u64>());
+        h.bench_with_setup("setup_excluded", || vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert_eq!(h.results.len(), 2);
+        for r in &h.results {
+            assert!(r.min_ns <= r.median_ns, "{r:?}");
+            assert!(r.median_ns <= r.p95_ns, "{r:?}");
+            assert!(r.min_ns > 0.0, "{r:?}");
+        }
+        h.finish();
+    }
+
+    #[test]
+    fn json_output_is_written() {
+        let dir = std::env::temp_dir().join("testkit-bench-test");
+        let mut h = Harness::new("jsoncheck").with_config(tiny());
+        h.bench("x", || 1u64 + 1);
+        h.write_json(dir.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(dir.join("jsoncheck.json")).unwrap();
+        assert!(text.contains("\"group\": \"jsoncheck\""));
+        assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn summarize_percentiles() {
+        let r = summarize((1..=100).map(|i| i as f64).collect(), 1);
+        assert_eq!(r.median_ns, 51.0);
+        assert_eq!(r.p95_ns, 95.0);
+        assert_eq!(r.min_ns, 1.0);
+    }
+}

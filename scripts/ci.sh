@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus hermeticity checks.
+#
+# The workspace must build and test with ZERO network access: every
+# dependency is an in-workspace path crate (see crates/testkit for the
+# PRNG / property-test / bench substrate that replaced rand, proptest and
+# criterion). `--offline` turns any accidental registry dependency into a
+# hard error instead of a hung download, and the Cargo.lock scan catches
+# one that slipped in while the registry happened to be reachable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release --offline
+
+echo "== tier-1: test =="
+cargo test -q --offline
+
+echo "== hermeticity: whole workspace (all targets, no network) =="
+cargo build --release --offline --workspace --benches
+cargo test -q --offline --workspace
+
+echo "== hermeticity: lockfile =="
+if grep -q '^source = ' Cargo.lock; then
+    echo "ERROR: Cargo.lock contains registry-sourced packages:" >&2
+    grep -B2 '^source = ' Cargo.lock >&2
+    exit 1
+fi
+echo "Cargo.lock is path-only ($(grep -c '^name = ' Cargo.lock) workspace packages)"
+
+echo "== OK =="

@@ -1,0 +1,57 @@
+//! Golden determinism tests: one small scenario per MAC scheme, pinned to a
+//! fixed master seed, asserting the *exact* summary metrics. The whole
+//! simulator is specified to be a pure function of `(configuration, seed)` —
+//! SplitMix64-derived xoshiro256++ streams, integer-nanosecond clock, no
+//! wall-time — so these values must reproduce bit-for-bit on every platform
+//! and profile. Any diff here is cross-PR behavioral drift: either an
+//! intended semantic change (update the constants and say so in the PR) or
+//! an accidental one (a bug).
+//!
+//! Values are compared after fixed-point formatting so the assertion
+//! messages stay readable; the formatting is exact for the precision used.
+
+use domino::core::{scenarios, Scheme, SimulationBuilder};
+
+fn summary(scheme: Scheme) -> String {
+    let report = SimulationBuilder::new(scenarios::fig7())
+        .udp(10e6, 5e6)
+        .duration_s(0.1)
+        .seed(0xD0311)
+        .run(scheme);
+    format!(
+        "tput={:.6} delay_us={:.3} fairness={:.6}",
+        report.aggregate_mbps(),
+        report.mean_delay_us(),
+        report.fairness()
+    )
+}
+
+#[test]
+fn golden_dcf_fig7_seeded() {
+    assert_eq!(summary(Scheme::Dcf), "tput=12.656640 delay_us=41899.237 fairness=0.486215");
+}
+
+#[test]
+fn golden_centaur_fig7_seeded() {
+    assert_eq!(summary(Scheme::Centaur), "tput=13.312000 delay_us=39435.749 fairness=0.723023");
+}
+
+#[test]
+fn golden_domino_fig7_seeded() {
+    assert_eq!(summary(Scheme::Domino), "tput=20.193280 delay_us=33087.106 fairness=0.963532");
+}
+
+#[test]
+fn golden_omniscient_fig7_seeded() {
+    assert_eq!(
+        summary(Scheme::Omniscient),
+        "tput=18.759680 delay_us=32503.123 fairness=0.999943"
+    );
+}
+
+/// The golden values above only catch drift if the run is reproducible in
+/// the first place; assert that two back-to-back runs in one process agree.
+#[test]
+fn golden_runs_are_reproducible_in_process() {
+    assert_eq!(summary(Scheme::Domino), summary(Scheme::Domino));
+}

@@ -1,5 +1,8 @@
 //! Property-based tests over the core data structures and protocol
-//! invariants, spanning crates.
+//! invariants, spanning crates. Runs on the in-tree `domino-testkit`
+//! property harness: each property draws its inputs from a seeded
+//! [`prop::Gen`]; failures shrink to a minimal choice sequence that can be
+//! pinned with `prop::replay` (see the regression tests at the bottom).
 
 use domino::phy::gold::{m_sequence, GoldFamily};
 use domino::phy::units::{Db, Dbm};
@@ -11,11 +14,13 @@ use domino::topology::network::{make_node, Network, PhyParams};
 use domino::topology::node::{NodeRole, Position};
 use domino::topology::rss::RssMatrix;
 use domino::topology::{LinkId, NodeId};
-use proptest::prelude::*;
+use domino_testkit::prop;
+use domino_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #[test]
-    fn engine_delivers_in_nondecreasing_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn engine_delivers_in_nondecreasing_time_order() {
+    prop::check("engine_delivers_in_nondecreasing_time_order", |g| {
+        let times = g.vec(1, 200, |g| g.u64(0, 999_999));
         let mut engine = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             engine.schedule_at(SimTime::from_nanos(t), i);
@@ -28,10 +33,13 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
-    }
+    });
+}
 
-    #[test]
-    fn engine_same_time_events_are_fifo(n in 1usize..100) {
+#[test]
+fn engine_same_time_events_are_fifo() {
+    prop::check("engine_same_time_events_are_fifo", |g| {
+        let n = g.usize(1, 99);
         let mut engine = Engine::new();
         let t = SimTime::from_micros(10);
         for i in 0..n {
@@ -42,42 +50,59 @@ proptest! {
             prop_assert_eq!(v, expected);
             expected += 1;
         }
-    }
+    });
+}
 
-    #[test]
-    fn duration_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+#[test]
+fn duration_arithmetic_is_consistent() {
+    prop::check("duration_arithmetic_is_consistent", |g| {
+        let a = g.u64(0, u32::MAX as u64 - 1);
+        let b = g.u64(0, u32::MAX as u64 - 1);
         let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
         prop_assert_eq!(da + db, db + da);
         prop_assert_eq!((da + db).saturating_sub(db), da);
         let t = SimTime::from_nanos(a);
         prop_assert_eq!((t + db) - db, t);
-    }
+    });
+}
 
-    #[test]
-    fn dbm_power_sum_is_commutative_and_dominant(a in -100.0f64..0.0, b in -100.0f64..0.0) {
+#[test]
+fn dbm_power_sum_is_commutative_and_dominant() {
+    prop::check("dbm_power_sum_is_commutative_and_dominant", |g| {
+        let a = g.f64(-100.0, 0.0);
+        let b = g.f64(-100.0, 0.0);
         let s1 = Dbm(a).power_sum(Dbm(b));
         let s2 = Dbm(b).power_sum(Dbm(a));
         prop_assert!((s1.value() - s2.value()).abs() < 1e-9);
         prop_assert!(s1.value() >= a.max(b) - 1e-9);
         prop_assert!(s1.value() <= a.max(b) + 3.02);
-    }
+    });
+}
 
-    #[test]
-    fn db_round_trips_through_linear(x in -80.0f64..80.0) {
+#[test]
+fn db_round_trips_through_linear() {
+    prop::check("db_round_trips_through_linear", |g| {
+        let x = g.f64(-80.0, 80.0);
         let db = Db(x);
         let back = Db::from_linear(db.to_linear());
         prop_assert!((back.value() - x).abs() < 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn jain_index_bounds(alloc in prop::collection::vec(0.0f64..100.0, 1..40)) {
+#[test]
+fn jain_index_bounds() {
+    prop::check("jain_index_bounds", |g| {
+        let alloc = g.vec(1, 40, |g| g.f64(0.0, 100.0));
         let j = jain_index(&alloc);
         prop_assert!(j >= 1.0 / alloc.len() as f64 - 1e-9);
         prop_assert!(j <= 1.0 + 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn cdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn cdf_is_monotone() {
+    prop::check("cdf_is_monotone", |g| {
+        let samples = g.vec(1, 200, |g| g.f64(-1e6, 1e6));
         let cdf = Cdf::from_samples(samples);
         let pts = cdf.points();
         for w in pts.windows(2) {
@@ -85,11 +110,14 @@ proptest! {
             prop_assert!(w[0].1 <= w[1].1);
         }
         prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
-    }
+    });
+}
 
-    #[test]
-    fn m_sequences_are_balanced(degree in 3u32..10) {
+#[test]
+fn m_sequences_are_balanced() {
+    prop::check("m_sequences_are_balanced", |g| {
         // Every maximal-length sequence has |#1s - #0s| = 1.
+        let degree = g.u64(3, 9) as u32;
         let taps: &[u32] = match degree {
             3 => &[3, 2],
             4 => &[4, 3],
@@ -102,34 +130,40 @@ proptest! {
         let code = m_sequence(degree, taps);
         let sum: i32 = code.chips().iter().map(|&c| i32::from(c)).sum();
         prop_assert_eq!(sum.abs(), 1);
-    }
+    });
+}
 
-    #[test]
-    fn rand_scheduler_slots_always_independent(
-        seed_backlog in prop::collection::vec(0u32..5, 8),
-        cross in prop::collection::vec(any::<bool>(), 4),
-    ) {
-        // 4 AP-client pairs with random interference pattern.
-        let nodes: Vec<_> = (0..4u32)
-            .flat_map(|i| {
-                [
-                    make_node(2 * i, NodeRole::Ap, None, Position::default()),
-                    make_node(2 * i + 1, NodeRole::Client, Some(2 * i), Position::default()),
-                ]
-            })
-            .collect();
-        let mut rss = RssMatrix::disconnected(8);
-        for i in 0..4u32 {
-            rss.set_symmetric(NodeId(2 * i), NodeId(2 * i + 1), Dbm(-55.0));
+/// 4 AP-client pairs wired up with a configurable cross-interference
+/// pattern; shared by the scheduler and converter properties.
+fn four_pair_network(cross: &[bool]) -> Network {
+    let nodes: Vec<_> = (0..4u32)
+        .flat_map(|i| {
+            [
+                make_node(2 * i, NodeRole::Ap, None, Position::default()),
+                make_node(2 * i + 1, NodeRole::Client, Some(2 * i), Position::default()),
+            ]
+        })
+        .collect();
+    let mut rss = RssMatrix::disconnected(8);
+    for i in 0..4u32 {
+        rss.set_symmetric(NodeId(2 * i), NodeId(2 * i + 1), Dbm(-55.0));
+    }
+    for (k, &c) in cross.iter().enumerate() {
+        if c {
+            let i = k as u32;
+            let j = (k as u32 + 1) % 4;
+            rss.set_symmetric(NodeId(2 * i), NodeId(2 * j + 1), Dbm(-60.0));
         }
-        for (k, &c) in cross.iter().enumerate() {
-            if c {
-                let i = k as u32;
-                let j = (k as u32 + 1) % 4;
-                rss.set_symmetric(NodeId(2 * i), NodeId(2 * j + 1), Dbm(-60.0));
-            }
-        }
-        let net = Network::new(nodes, rss, PhyParams::default());
+    }
+    Network::new(nodes, rss, PhyParams::default())
+}
+
+#[test]
+fn rand_scheduler_slots_always_independent() {
+    prop::check("rand_scheduler_slots_always_independent", |g| {
+        let seed_backlog = g.vec(8, 8, |g| g.u64(0, 4) as u32);
+        let cross: Vec<bool> = (0..4).map(|_| g.bool()).collect();
+        let net = four_pair_network(&cross);
         let graph = ConflictGraph::build_for_scheduling(&net);
         let mut sched = RandScheduler::new(net.links().len());
         let mut backlog = seed_backlog.clone();
@@ -141,13 +175,14 @@ proptest! {
         let consumed: u32 = seed_backlog.iter().zip(&backlog).map(|(a, b)| a - b).sum();
         let scheduled: usize = strict.slots.iter().map(Vec::len).sum();
         prop_assert_eq!(consumed as usize, scheduled);
-    }
+    });
+}
 
-    #[test]
-    fn converter_respects_caps_on_random_schedules(
-        backlog in prop::collection::vec(0u32..4, 8),
-        batch_slots in 1usize..8,
-    ) {
+#[test]
+fn converter_respects_caps_on_random_schedules() {
+    prop::check("converter_respects_caps_on_random_schedules", |g| {
+        let backlog = g.vec(8, 8, |g| g.u64(0, 3) as u32);
+        let batch_slots = g.usize(1, 7);
         let nodes: Vec<_> = (0..4u32)
             .flat_map(|i| {
                 [
@@ -184,14 +219,84 @@ proptest! {
                 prop_assert!(count <= 2);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gold_codes_cross_correlation_is_bounded(i in 0usize..129, j in 0usize..129, shift in 0usize..127) {
+#[test]
+fn gold_codes_cross_correlation_is_bounded() {
+    prop::check("gold_codes_cross_correlation_is_bounded", |g| {
         let family = GoldFamily::degree7();
+        let i = g.usize(0, 128);
+        let j = g.usize(0, 128);
+        let shift = g.usize(0, 126);
         if i != j {
             let c = family.code(i).periodic_correlation(family.code(j), shift);
             prop_assert!(c.abs() <= 17, "corr {} for ({}, {}) at {}", c, i, j, shift);
         }
-    }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Regression replays: pinned choice sequences (the shrinker's floor and
+// boundary cases) that must keep passing verbatim. `prop::replay` pads
+// missing choices with zeros, so `&[]` is the all-minimal input of each
+// property — exactly what a fully successful shrink would converge to if the
+// property ever regressed there.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_minimal_inputs_hold() {
+    // Single event at t=0 delivered once, in order.
+    prop::replay(&[], |g| {
+        let times = g.vec(1, 200, |g| g.u64(0, 999_999));
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_nanos(t), i);
+        }
+        prop_assert_eq!(engine.pop(), Some((SimTime::ZERO, 0)));
+        prop_assert_eq!(engine.pop(), None);
+    });
+    // Zero-length durations: identities must hold at the origin.
+    prop::replay(&[], |g| {
+        let a = g.u64(0, u32::MAX as u64 - 1);
+        let da = SimDuration::from_nanos(a);
+        prop_assert_eq!(da + da, da);
+        prop_assert_eq!((SimTime::from_nanos(a) + da) - da, SimTime::ZERO);
+    });
+}
+
+#[test]
+fn regression_duration_arithmetic_upper_boundary() {
+    // Both summands at the top of the sampled range — the carry path the
+    // random cases reach only with probability ~2^-64.
+    prop::replay(&[u32::MAX as u64 - 1, u32::MAX as u64 - 1], |g| {
+        let a = g.u64(0, u32::MAX as u64 - 1);
+        let b = g.u64(0, u32::MAX as u64 - 1);
+        let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+    });
+}
+
+#[test]
+fn regression_scheduler_fully_interfering_backlog() {
+    // All four cross-interference flags set with a saturated backlog: the
+    // densest conflict graph the property can generate.
+    prop::replay(&[0, 4, 4, 4, 4, 4, 4, 4, 4, 1, 1, 1, 1], |g| {
+        let seed_backlog = g.vec(8, 8, |g| g.u64(0, 4) as u32);
+        let cross: Vec<bool> = (0..4).map(|_| g.bool()).collect();
+        prop_assert_eq!(&seed_backlog, &vec![4u32; 8]);
+        prop_assert_eq!(&cross, &vec![true; 4]);
+        let net = four_pair_network(&cross);
+        let graph = ConflictGraph::build_for_scheduling(&net);
+        let mut sched = RandScheduler::new(net.links().len());
+        let mut backlog = seed_backlog.clone();
+        let strict = sched.schedule_batch(&graph, &mut backlog, 10);
+        for slot in &strict.slots {
+            prop_assert!(graph.is_independent(slot));
+        }
+        let consumed: u32 = seed_backlog.iter().zip(&backlog).map(|(a, b)| a - b).sum();
+        let scheduled: usize = strict.slots.iter().map(Vec::len).sum();
+        prop_assert_eq!(consumed as usize, scheduled);
+    });
 }
