@@ -41,10 +41,12 @@ impl HarnessArgs {
                         .expect("--seed needs an integer");
                 }
                 "--help" | "-h" => {
+                    // lint: allow(D006) CLI usage text for the bench binaries
                     eprintln!("flags: --full (paper scale), --seed <n>");
                     std::process::exit(0);
                 }
                 other => {
+                    // lint: allow(D006) CLI diagnostic for the bench binaries
                     eprintln!("unknown flag {other}; try --help");
                     std::process::exit(2);
                 }

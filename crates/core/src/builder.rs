@@ -49,7 +49,7 @@ impl Scheme {
 }
 
 /// Configures and runs one simulation.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct SimulationBuilder {
     network: Network,
     workload: Option<Workload>,

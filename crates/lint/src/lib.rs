@@ -1,0 +1,176 @@
+//! # domino-lint
+//!
+//! Determinism & correctness lints for the DOMINO workspace — a
+//! zero-dependency static-analysis pass that makes the reproduction's
+//! bit-exactness *enforced* rather than conventional.
+//!
+//! The headline claim of the paper (relative scheduling reproduces a strict
+//! schedule without clock sync) is verified here by exact-value pins over
+//! seeded runs (`tests/golden.rs`). Those pins are only meaningful while
+//! nothing nondeterministic can reach a scheduling decision: no wall-clock
+//! reads, no hash-order iteration, no ambient randomness. `domino-lint`
+//! walks every `.rs` file in the workspace with a real token-level lexer
+//! ([`tokenizer`]) and enforces rules D001–D006 ([`rules`]), honoring
+//! inline waivers that must carry a written reason ([`waiver`]), and
+//! reports as text or JSON with a CI-gateable exit code ([`report`]).
+//!
+//! Run it with `cargo run -p domino-lint` (add `--json` for the machine
+//! format); `scripts/ci.sh` gates on it. See DESIGN.md §"Determinism
+//! rules" for the paper-level rationale of each rule.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+pub mod waiver;
+
+use report::{Report, UnusedWaiver, Violation};
+use rules::{FileCtx, RuleId};
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source text. `path` is workspace-relative and decides
+/// which rules apply ([`FileCtx::from_path`]).
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let tokens = tokenizer::tokenize(source);
+    let ctx = FileCtx::from_path(path);
+    let findings = rules::check_file(&ctx, &tokens);
+    let mut waivers = waiver::collect(&tokens);
+
+    let mut out = Vec::new();
+    for f in findings {
+        let w = waivers
+            .iter_mut()
+            .find(|w| waiver::covers(w, f.rule, f.line));
+        let waived = w.map(|w| {
+            w.used = true;
+            w.reason.clone()
+        });
+        out.push(Violation {
+            rule: f.rule,
+            file: path.to_string(),
+            line: f.line,
+            message: f.message,
+            waived,
+        });
+    }
+    // Waiver hygiene: a waiver without a reason (or with an unparsable rule
+    // list) is itself a violation; a well-formed waiver that matched
+    // nothing is surfaced by `lint_files` as unused.
+    for w in &waivers {
+        if w.reason.is_empty() || w.rules.is_empty() {
+            out.push(Violation {
+                rule: RuleId::W000,
+                file: path.to_string(),
+                line: w.line,
+                message: if w.rules.is_empty() {
+                    "waiver with unknown rule id; expected D001..D006".to_string()
+                } else {
+                    "waiver without a reason; write `// lint: allow(Dxxx) <why>`".to_string()
+                },
+                waived: None,
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// Unused, well-formed waivers of one file (for the stale-waiver warning).
+fn unused_waivers(path: &str, source: &str) -> Vec<UnusedWaiver> {
+    let tokens = tokenizer::tokenize(source);
+    let ctx = FileCtx::from_path(path);
+    let findings = rules::check_file(&ctx, &tokens);
+    let mut waivers = waiver::collect(&tokens);
+    for f in &findings {
+        if let Some(w) = waivers.iter_mut().find(|w| waiver::covers(w, f.rule, f.line)) {
+            w.used = true;
+        }
+    }
+    waivers
+        .into_iter()
+        .filter(|w| !w.used && !w.reason.is_empty() && !w.rules.is_empty())
+        .map(|w| UnusedWaiver { file: path.to_string(), line: w.line })
+        .collect()
+}
+
+/// Recursively collect the workspace's `.rs` files under `root`, skipping
+/// build output and VCS internals. Returned paths are `root`-relative with
+/// `/` separators, sorted for deterministic report order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if matches!(name.as_ref(), "target" | ".git" | ".claude" | "results") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every workspace file under `root`; the one-call entry the binary
+/// and the self-tests share.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Non-UTF-8 bytes cannot carry Rust tokens; lossy conversion keeps
+        // the lint total (every file is scanned, none can opt out by
+        // encoding).
+        let bytes = std::fs::read(path)?;
+        let source = String::from_utf8_lossy(&bytes);
+        report.violations.extend(lint_source(&rel, &source));
+        report.unused_waivers.extend(unused_waivers(&rel, &source));
+    }
+    report.violations.sort_by_key(|v| (v.file.clone(), v.line, v.rule));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_silences_only_its_rule_and_site() {
+        let src = "\
+fn f(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    // lint: allow(D002) snapshot copy, order irrelevant: summed
+    let s: u32 = m.values().sum();
+    s
+}
+fn g(m: &std::collections::HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+";
+        let v = lint_source("crates/sim/src/x.rs", src);
+        let unwaived: Vec<_> = v.iter().filter(|v| v.waived.is_none()).collect();
+        assert_eq!(unwaived.len(), 1, "{v:?}");
+        assert_eq!(unwaived[0].line, 7);
+        assert!(v.iter().any(|v| v.waived.is_some() && v.line == 3));
+    }
+
+    #[test]
+    fn reasonless_waiver_is_a_violation_and_silences_nothing() {
+        let src = "// lint: allow(D006)\nfn f() { println!(\"x\"); }\n";
+        let v = lint_source("crates/stats/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == RuleId::W000));
+        assert!(v.iter().any(|v| v.rule == RuleId::D006 && v.waived.is_none()));
+    }
+}

@@ -1,0 +1,69 @@
+//! The `domino-lint` binary: lint the workspace, print the report, exit
+//! non-zero on any unwaived violation.
+//!
+//! ```text
+//! cargo run -p domino-lint [-- --json] [--root <dir>] [--rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unwaived violations, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("domino-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for rule in [
+                    domino_lint::rules::RuleId::D001,
+                    domino_lint::rules::RuleId::D002,
+                    domino_lint::rules::RuleId::D003,
+                    domino_lint::rules::RuleId::D004,
+                    domino_lint::rules::RuleId::D005,
+                    domino_lint::rules::RuleId::D006,
+                    domino_lint::rules::RuleId::W000,
+                ] {
+                    println!("{}  {}", rule.name(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: domino-lint [--json] [--root <dir>] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("domino-lint: unknown flag {other}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match domino_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("domino-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,233 @@
+//! Lint results and their rendering (human text and `--json`).
+//!
+//! JSON is hand-rolled string building, same convention as
+//! `testkit::bench`'s summary writer — the workspace is hermetic, so no
+//! serde. The schema is stable for CI consumption:
+//!
+//! ```json
+//! {
+//!   "tool": "domino-lint",
+//!   "violations": [ {"rule", "file", "line", "message"} ],
+//!   "waived":     [ {"rule", "file", "line", "message", "reason"} ],
+//!   "unused_waivers": [ {"file", "line"} ],
+//!   "summary": {"files": n, "violations": n, "waived": n}
+//! }
+//! ```
+
+use crate::rules::RuleId;
+use std::fmt::Write as _;
+
+/// One finding attributed to a file, after waiver resolution.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The rule that fired (`W000` for an invalid waiver).
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Site-specific detail.
+    pub message: String,
+    /// `Some(reason)` when an inline waiver silenced this finding.
+    pub waived: Option<String>,
+}
+
+/// A waiver that matched no finding (stale or misplaced).
+#[derive(Clone, Debug)]
+pub struct UnusedWaiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+}
+
+/// Everything one lint run produced.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, waived or not, ordered by (file, line).
+    pub violations: Vec<Violation>,
+    /// Waivers that silenced nothing.
+    pub unused_waivers: Vec<UnusedWaiver>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not silenced by a waiver (these fail CI).
+    pub fn unwaived(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.waived.is_none())
+    }
+
+    /// Does this run gate CI red?
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in self.unwaived() {
+            let _ = writeln!(
+                out,
+                "{} {}:{} {}",
+                v.rule.name(),
+                v.file,
+                v.line,
+                v.message
+            );
+        }
+        let waived = self.violations.len() - self.unwaived().count();
+        for v in self.violations.iter().filter(|v| v.waived.is_some()) {
+            let reason = v.waived.as_deref().unwrap_or("");
+            let _ = writeln!(
+                out,
+                "waived {} {}:{} ({reason})",
+                v.rule.name(),
+                v.file,
+                v.line
+            );
+        }
+        for w in &self.unused_waivers {
+            let _ = writeln!(out, "warning: unused waiver at {}:{}", w.file, w.line);
+        }
+        let _ = writeln!(
+            out,
+            "domino-lint: {} file(s), {} violation(s), {} waived",
+            self.files_scanned,
+            self.unwaived().count(),
+            waived
+        );
+        out
+    }
+
+    /// Machine-readable rendering (`--json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"domino-lint\",\n  \"violations\": [\n");
+        let unwaived: Vec<&Violation> = self.unwaived().collect();
+        for (i, v) in unwaived.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}",
+                v.rule.name(),
+                escape(&v.file),
+                v.line,
+                escape(&v.message),
+                if i + 1 == unwaived.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ],\n  \"waived\": [\n");
+        let waived: Vec<&Violation> =
+            self.violations.iter().filter(|v| v.waived.is_some()).collect();
+        for (i, v) in waived.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"reason\": \"{}\"}}{}",
+                v.rule.name(),
+                escape(&v.file),
+                v.line,
+                escape(&v.message),
+                escape(v.waived.as_deref().unwrap_or("")),
+                if i + 1 == waived.len() { "" } else { "," }
+            );
+        }
+        out.push_str("  ],\n  \"unused_waivers\": [\n");
+        for (i, w) in self.unused_waivers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"file\": \"{}\", \"line\": {}}}{}",
+                escape(&w.file),
+                w.line,
+                if i + 1 == self.unused_waivers.len() { "" } else { "," }
+            );
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"summary\": {{\"files\": {}, \"violations\": {}, \"waived\": {}}}\n}}\n",
+            self.files_scanned,
+            unwaived.len(),
+            waived.len()
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![
+                Violation {
+                    rule: RuleId::D003,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 3,
+                    message: "float `==` comparison".into(),
+                    waived: None,
+                },
+                Violation {
+                    rule: RuleId::D006,
+                    file: "crates/y/src/lib.rs".into(),
+                    line: 9,
+                    message: "`println!` in library code".into(),
+                    waived: Some("report printer by design".into()),
+                },
+            ],
+            unused_waivers: vec![UnusedWaiver { file: "src/lib.rs".into(), line: 1 }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_and_sums() {
+        let text = sample().render_text();
+        assert!(text.contains("D003 crates/x/src/lib.rs:3"), "{text}");
+        assert!(text.contains("waived D006 crates/y/src/lib.rs:9 (report printer by design)"));
+        assert!(text.contains("unused waiver at src/lib.rs:1"));
+        assert!(text.contains("2 file(s), 1 violation(s), 1 waived"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let json = sample().render_json();
+        assert!(json.contains("\"rule\": \"D003\""));
+        assert!(json.contains("\"reason\": \"report printer by design\""));
+        assert!(json.contains("\"summary\": {\"files\": 2, \"violations\": 1, \"waived\": 1}"));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        let r = sample();
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,621 @@
+//! The determinism & correctness rules (D001–D006).
+//!
+//! Each rule is a predicate over the token stream of one file plus a
+//! [`FileCtx`] describing where in the workspace that file lives. The rules
+//! encode what the DOMINO reproduction's headline claim rests on: the
+//! simulation is **bit-exact reproducible**, so relative scheduling can be
+//! checked against a strict schedule by value (`tests/golden.rs`). Anything
+//! that lets wall-clock time, hash order or ambient randomness leak into a
+//! scheduling decision silently voids those pins. See DESIGN.md
+//! §"Determinism rules" for the paper-level rationale of every rule.
+//!
+//! | rule | scope | what it rejects |
+//! |------|-------|-----------------|
+//! | D001 | all but `testkit`, `bench` | `std::time` / `Instant` / `SystemTime` |
+//! | D002 | `scheduler` `mac` `sim` `medium` | iterating a `HashMap`/`HashSet` |
+//! | D003 | non-test code | `==`/`!=` against a float literal |
+//! | D004 | everywhere | `rand::`, `thread_rng`, OS entropy |
+//! | D005 | lib code of `phy` `scheduler` `mac` `sim` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | D006 | library code | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` |
+//!
+//! The engine is token-level by design (no full parse, zero deps), so each
+//! rule is a *conservative approximation*: e.g. D003 only fires when one
+//! comparison operand is literally a float token, and D002 tracks idents
+//! that the same file declares with a hash-container type. False negatives
+//! are possible; false positives should be rare — and when a hit is
+//! intentional, an inline waiver (`// lint: allow(D00x) reason`) records
+//! why, reviewably, at the site.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// Rule identifiers. `W000` is the meta-rule: a waiver without a reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Wall-clock time in simulation code.
+    D001,
+    /// Unordered hash-container iteration in scheduling crates.
+    D002,
+    /// Float equality comparison.
+    D003,
+    /// Ambient (non-`SimRng`) randomness.
+    D004,
+    /// Panicking calls in library code of the core crates.
+    D005,
+    /// Stdout/stderr output from library code.
+    D006,
+    /// A waiver comment that carries no reason.
+    W000,
+}
+
+impl RuleId {
+    /// Parse `"D001"`-style names (as written inside waivers).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        Some(match s {
+            "D001" => RuleId::D001,
+            "D002" => RuleId::D002,
+            "D003" => RuleId::D003,
+            "D004" => RuleId::D004,
+            "D005" => RuleId::D005,
+            "D006" => RuleId::D006,
+            _ => return None,
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+            RuleId::W000 => "W000",
+        }
+    }
+
+    /// One-line description (shown in reports and `--rules`).
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D001 => "wall-clock time outside testkit/bench: sim time flows through sim::time",
+            RuleId::D002 => "HashMap/HashSet iteration in scheduler/mac/sim/medium: order feeds scheduling",
+            RuleId::D003 => "float == / != : exact float comparison is representation-dependent",
+            RuleId::D004 => "ambient randomness: all RNG goes through SimRng with explicit (seed, stream)",
+            RuleId::D005 => "unwrap/expect/panic!/unreachable!/todo! in phy/scheduler/mac/sim library code",
+            RuleId::D006 => "println!/eprintln!/dbg! in library code: diagnostics flow through stats",
+            RuleId::W000 => "waiver without a reason: `// lint: allow(Dxxx) <why>` requires the why",
+        }
+    }
+}
+
+/// Where a file sits in the workspace; decides rule applicability.
+#[derive(Clone, Debug, Default)]
+pub struct FileCtx {
+    /// Short crate name (`"scheduler"` for `crates/scheduler/...`,
+    /// `"domino"` for the root package), if recognizable.
+    pub crate_name: String,
+    /// Binary target (`src/main.rs`, anything under `src/bin/`).
+    pub is_bin: bool,
+    /// Test-only source: an integration-test (`tests/`) or example file.
+    pub is_test_file: bool,
+}
+
+impl FileCtx {
+    /// Derive a context from a workspace-relative path (`/`-separated).
+    pub fn from_path(path: &str) -> FileCtx {
+        let norm = path.replace('\\', "/");
+        let crate_name = norm
+            .split_once("crates/")
+            .and_then(|(_, rest)| rest.split('/').next())
+            .unwrap_or("domino")
+            .to_string();
+        let is_bin = norm.contains("/src/bin/") || norm.ends_with("src/main.rs");
+        let is_test_file = {
+            let under_crate = norm.split_once("crates/").map(|(_, r)| r).unwrap_or(&norm);
+            under_crate.contains("tests/")
+                || under_crate.contains("examples/")
+                || under_crate.contains("benches/")
+        };
+        FileCtx { crate_name, is_bin, is_test_file }
+    }
+}
+
+/// One rule hit, before waiver matching.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Site-specific message (what exactly was seen).
+    pub message: String,
+}
+
+/// Crates whose purpose is wall-clock measurement or driving binaries.
+const WALL_CLOCK_CRATES: &[&str] = &["testkit", "bench", "lint"];
+/// Crates whose state feeds scheduling decisions (D002 scope).
+const ORDERED_CRATES: &[&str] = &["scheduler", "mac", "sim", "medium"];
+/// Crates whose library code must not panic (D005 scope).
+const NO_PANIC_CRATES: &[&str] = &["phy", "scheduler", "mac", "sim"];
+
+/// Hash-container methods that expose unordered iteration.
+const ITERATION_METHODS: &[&str] = &[
+    "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "into_keys",
+    "into_values", "drain", "retain", "extract_if",
+];
+
+/// Run every applicable rule over one file's tokens.
+pub fn check_file(ctx: &FileCtx, tokens: &[Token<'_>]) -> Vec<Finding> {
+    // Rules never fire inside comments; waiver scanning (which does read
+    // comments) lives in `crate::waiver`.
+    let code: Vec<Token<'_>> = tokens
+        .iter()
+        .copied()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let in_test = test_regions(&code);
+
+    let mut findings = Vec::new();
+    d001_wall_clock(ctx, &code, &mut findings);
+    d002_hash_iteration(ctx, &code, &mut findings);
+    d003_float_eq(ctx, &code, &in_test, &mut findings);
+    d004_ambient_rng(&code, &mut findings);
+    d005_no_panic(ctx, &code, &in_test, &mut findings);
+    d006_no_stdout(ctx, &code, &in_test, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Mark, per token, whether it sits inside `#[cfg(test)]`-gated or
+/// `#[test]`-attributed code. Token-level approximation: after such an
+/// attribute, everything from the next `{` at the attribute's brace level
+/// to its matching `}` is test code (a `;` first cancels — `#[cfg(test)]
+/// use …;`).
+fn test_regions(code: &[Token<'_>]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i32 = 0;
+    // (depth at which the test region's body opened) — nesting-safe.
+    let mut region_floor: Option<i32> = None;
+    let mut pending_attr = false;
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match (t.kind, t.text) {
+            (TokenKind::Punct, "#") if region_floor.is_none() => {
+                // Attribute outside any test region: does it gate one?
+                let (is_test_attr, end) = parse_attr(code, i);
+                if is_test_attr {
+                    pending_attr = true;
+                }
+                if pending_attr {
+                    for flag in in_test.iter_mut().take(end).skip(i) {
+                        *flag = true;
+                    }
+                }
+                i = end;
+                continue;
+            }
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                if pending_attr && region_floor.is_none() {
+                    region_floor = Some(depth - 1);
+                    pending_attr = false;
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                depth -= 1;
+                if region_floor.is_some_and(|f| depth <= f) {
+                    in_test[i] = true; // the closing brace itself
+                    region_floor = None;
+                    i += 1;
+                    continue;
+                }
+            }
+            (TokenKind::Punct, ";") if pending_attr && region_floor.is_none() => {
+                pending_attr = false; // braceless item, e.g. a gated `use`
+            }
+            _ => {}
+        }
+        if region_floor.is_some() || pending_attr {
+            in_test[i] = true;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Inspect the attribute starting at `#` (index `i`); returns whether it
+/// gates test code and the index just past its closing `]`.
+///
+/// Gating forms: `#[test]` as the head, or `test` appearing inside a
+/// `cfg`/`cfg_attr` head — unless negated (`cfg(not(test))` is *non*-test
+/// code; a `not` anywhere in the predicate conservatively disables the
+/// match).
+fn parse_attr(code: &[Token<'_>], i: usize) -> (bool, usize) {
+    if code.get(i + 1).map(|t| t.text) != Some("[") {
+        return (false, i + 1);
+    }
+    let head = code.get(i + 2).map(|t| t.text).unwrap_or("");
+    let head_is_cfg = matches!(head, "cfg" | "cfg_attr");
+    let mut is_test = head == "test";
+    let mut saw_not = false;
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while let Some(t) = code.get(j) {
+        match t.text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (is_test && !saw_not, j + 1);
+                }
+            }
+            "not" if t.kind == TokenKind::Ident => saw_not = true,
+            "test" if t.kind == TokenKind::Ident && head_is_cfg => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (is_test && !saw_not, j)
+}
+
+// ----------------------------------------------------------------- rules
+
+/// D001: `std::time`, `Instant`, `SystemTime` anywhere outside the crates
+/// whose whole point is wall-clock measurement.
+fn d001_wall_clock(ctx: &FileCtx, code: &[Token<'_>], out: &mut Vec<Finding>) {
+    if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hit = match t.text {
+            "Instant" | "SystemTime" | "UNIX_EPOCH" => true,
+            // Bare `std::time` module import. When the path continues
+            // (`std::time::X`) the clock idents above report the precise
+            // item instead, and `std::time::Duration` — a plain value
+            // type with no ambient clock — stays legal.
+            "time" => {
+                i >= 2
+                    && code[i - 1].text == "::"
+                    && code[i - 2].text == "std"
+                    && code.get(i + 1).map(|n| n.text) != Some("::")
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                rule: RuleId::D001,
+                line: t.line,
+                message: format!(
+                    "`{}` reads the wall clock; simulated time must flow through `sim::time`",
+                    if t.text == "time" { "std::time" } else { t.text }
+                ),
+            });
+        }
+    }
+}
+
+/// D002: iteration over `HashMap`/`HashSet` in the scheduling crates.
+/// Tracks identifiers this file declares with a hash-container type and
+/// flags (a) unordered-iteration method calls on them, (b) `for … in`
+/// loops whose iterated expression mentions one, (c) such calls directly
+/// on a `HashMap`/`HashSet` path.
+fn d002_hash_iteration(ctx: &FileCtx, code: &[Token<'_>], out: &mut Vec<Finding>) {
+    if !ORDERED_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let is_hash_ty = |t: &Token<'_>| matches!(t.text, "HashMap" | "HashSet");
+
+    // Pass 1 — hash-typed identifiers: `name: [&][mut] HashMap<…>` or
+    // `let [mut] name = HashMap::…`.
+    let mut hash_idents: Vec<&str> = Vec::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokenKind::Ident || !is_hash_ty(&code[i]) {
+            continue;
+        }
+        // Walk left over type-position noise.
+        let mut j = i;
+        while j > 0
+            && matches!(code[j - 1].text, "&" | "mut" | "::" | "collections" | "std")
+        {
+            j -= 1;
+        }
+        if j >= 2 && code[j - 1].text == ":" && code[j - 2].kind == TokenKind::Ident {
+            hash_idents.push(code[j - 2].text);
+        } else if j >= 2 && code[j - 1].text == "=" {
+            // `let [mut] name = HashMap::new()`
+            let mut k = j - 2;
+            if code[k].kind == TokenKind::Ident
+                && k >= 1
+                && (code[k - 1].text == "let" || (code[k - 1].text == "mut" && k >= 2))
+            {
+                if code[k - 1].text == "mut" {
+                    k -= 1;
+                }
+                if k >= 1 && code[k - 1].text == "let" {
+                    hash_idents.push(code[j - 2].text);
+                }
+            }
+        }
+    }
+    hash_idents.sort_unstable();
+    hash_idents.dedup();
+
+    let is_hash_expr_head = |t: &Token<'_>| {
+        is_hash_ty(t) || (t.kind == TokenKind::Ident && hash_idents.binary_search(&t.text).is_ok())
+    };
+
+    // Pass 2a — `recv.method()` where recv is hash-typed and method iterates.
+    for i in 0..code.len() {
+        if code[i].kind != TokenKind::Ident || !ITERATION_METHODS.contains(&code[i].text) {
+            continue;
+        }
+        if !(i >= 2 && code[i - 1].text == "." && code.get(i + 1).map(|t| t.text) == Some("("))
+        {
+            continue;
+        }
+        // Receiver: `map.iter()`, `self.map.iter()`, `HashMap::…` chains.
+        let mut r = i - 2;
+        if code[r].kind == TokenKind::Punct && matches!(code[r].text, ")" | "]") {
+            continue; // call-chain receiver: can't resolve, stay quiet
+        }
+        let recv = code[r];
+        // Skip a `self.` / path prefix to the field/var name itself.
+        if r >= 2 && code[r - 1].text == "." {
+            r -= 2;
+        }
+        if is_hash_expr_head(&recv) || is_hash_expr_head(&code[r]) {
+            out.push(Finding {
+                rule: RuleId::D002,
+                line: code[i].line,
+                message: format!(
+                    "`{}.{}()` iterates a hash container in `{}`; use BTreeMap/BTreeSet or sort first",
+                    recv.text, code[i].text, ctx.crate_name
+                ),
+            });
+        }
+    }
+
+    // Pass 2b — `for pat in expr {`: expr mentioning a hash-typed ident.
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text == "for" && code[i].kind == TokenKind::Ident {
+            // Find `in` at bracket depth 0, then the body `{` at depth 0.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut in_idx = None;
+            while let Some(t) = code.get(j) {
+                match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 && t.kind == TokenKind::Ident => {
+                        in_idx = Some(j);
+                        break;
+                    }
+                    "{" | ";" => break, // not a for-loop header after all
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = in_idx {
+                let mut k = start + 1;
+                let mut depth = 0i32;
+                while let Some(t) = code.get(k) {
+                    match t.text {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {
+                            if depth >= 0 && t.kind == TokenKind::Ident && is_hash_expr_head(t)
+                            {
+                                out.push(Finding {
+                                    rule: RuleId::D002,
+                                    line: t.line,
+                                    message: format!(
+                                        "`for … in` over hash container `{}` in `{}`; iteration order is unspecified",
+                                        t.text, ctx.crate_name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Findings from 2a and 2b can overlap (`for x in map.keys()`); dedup
+    // by line, keeping the first (method-call) message.
+    out.sort_by_key(|f| (f.rule, f.line));
+    out.dedup_by(|a, b| a.rule == RuleId::D002 && b.rule == RuleId::D002 && a.line == b.line);
+}
+
+/// D003: `==` / `!=` with a float literal on either side. Test code is
+/// exempt: exact-value pins (`tests/golden.rs`) are deliberate there.
+fn d003_float_eq(
+    ctx: &FileCtx,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_test_file {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if !(t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let left_float = i >= 1 && code[i - 1].kind == TokenKind::Float;
+        // Right side: skip one unary minus.
+        let mut r = i + 1;
+        if code.get(r).map(|t| t.text) == Some("-") {
+            r += 1;
+        }
+        let right_float = code.get(r).is_some_and(|t| t.kind == TokenKind::Float);
+        if left_float || right_float {
+            out.push(Finding {
+                rule: RuleId::D003,
+                line: t.line,
+                message: format!(
+                    "float `{}` comparison; use a tolerance or `total_cmp`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D004: ambient randomness. The `rand` crate is not even a dependency
+/// (hermetic build), so any mention is either dead weight or an attempt to
+/// reintroduce it; OS entropy names are flagged for the same reason.
+fn d004_ambient_rng(code: &[Token<'_>], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hit = match t.text {
+            "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => true,
+            // Any `rand::` path — but when the next segment is itself in
+            // the list above, that ident reports alone (no double count).
+            "rand" => {
+                code.get(i + 1).map(|n| n.text) == Some("::")
+                    && !code.get(i + 2).is_some_and(|n| {
+                        matches!(n.text, "thread_rng" | "OsRng" | "from_entropy" | "getrandom")
+                    })
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                rule: RuleId::D004,
+                line: t.line,
+                message: format!(
+                    "`{}` is ambient randomness; derive from SimRng with explicit (seed, stream)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D005: panicking constructs in non-test library code of the core crates.
+fn d005_no_panic(
+    ctx: &FileCtx,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    if !NO_PANIC_CRATES.contains(&ctx.crate_name.as_str()) || ctx.is_bin || ctx.is_test_file {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let next = code.get(i + 1).map(|n| n.text);
+        let (hit, what) = match t.text {
+            "unwrap" | "expect" => (
+                i >= 1 && code[i - 1].text == "." && next == Some("("),
+                format!(".{}()", t.text),
+            ),
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                (next == Some("!"), format!("{}!", t.text))
+            }
+            _ => (false, String::new()),
+        };
+        if hit {
+            out.push(Finding {
+                rule: RuleId::D005,
+                line: t.line,
+                message: format!(
+                    "`{what}` in `{}` library code; return an error or make the invariant a type",
+                    ctx.crate_name
+                ),
+            });
+        }
+    }
+}
+
+/// D006: stdout/stderr from library code. Binaries, examples, integration
+/// tests and `#[cfg(test)]` code may print; libraries report through
+/// `stats`.
+fn d006_no_stdout(
+    ctx: &FileCtx,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_bin || ctx.is_test_file {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !matches!(t.text, "println" | "eprintln" | "print" | "eprint" | "dbg") {
+            continue;
+        }
+        if code.get(i + 1).map(|n| n.text) != Some("!") {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::D006,
+            line: t.line,
+            message: format!(
+                "`{}!` in library code; route diagnostics through the run report / stats",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn ctx(path: &str) -> FileCtx {
+        FileCtx::from_path(path)
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&ctx(path), &tokenize(src))
+    }
+
+    #[test]
+    fn file_ctx_classification() {
+        let c = ctx("crates/scheduler/src/converter.rs");
+        assert_eq!(c.crate_name, "scheduler");
+        assert!(!c.is_bin && !c.is_test_file);
+        assert!(ctx("crates/bench/src/bin/run_all.rs").is_bin);
+        assert!(ctx("tests/golden.rs").is_test_file);
+        assert_eq!(ctx("src/lib.rs").crate_name, "domino");
+        assert!(ctx("examples/quickstart.rs").is_test_file);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let f = run("crates/sim/src/engine.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_exempt() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }";
+        let f = run("crates/sim/src/engine.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+}

@@ -1,0 +1,542 @@
+//! A panic-free, token-level Rust lexer.
+//!
+//! `domino-lint` does not need a full parse: every rule in [`crate::rules`]
+//! is expressible over a flat token stream, provided that stream is *honest*
+//! about the hard parts of Rust's lexical grammar. The failure mode this
+//! module exists to prevent is the classic grep-lint false positive:
+//! flagging `unwrap()` inside a raw string, a nested block comment, or a
+//! doc-comment example. So the lexer handles, precisely:
+//!
+//! * strings with escapes, byte strings, C strings;
+//! * raw strings / raw byte strings with arbitrary `#` guards
+//!   (`r#"…"#`, `br##"…"##`), and raw identifiers (`r#type`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped and
+//!   multi-byte char literals;
+//! * nested block comments (`/* /* */ */`) and line comments;
+//! * float vs. integer literals, including exponents, suffixes, and the
+//!   tuple-field case (`x.0` is *not* a float, `1.0` is);
+//! * multi-character operators, so `==`, `::` and friends arrive as single
+//!   tokens.
+//!
+//! Comments are kept in the stream (waivers live in them); rules that only
+//! care about code iterate a comment-free view.
+//!
+//! The lexer must accept *arbitrary* input without panicking — it runs on
+//! every `.rs` file in the workspace, and a lint tool that crashes on a
+//! half-saved file is worse than useless. Unterminated literals simply end
+//! at end-of-file; bytes that fit nothing become one-character `Punct`
+//! tokens. This is pinned by a property test over random byte strings.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers arrive *without* `r#`).
+    Ident,
+    /// A lifetime such as `'a` (the quote is included in the text).
+    Lifetime,
+    /// Integer literal, including suffixed forms (`7u32`, `0xFF`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String, byte-string or C-string literal, escapes unresolved.
+    Str,
+    /// Raw (byte) string literal, guards included.
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting respected, delimiters included.
+    BlockComment,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source slice (raw identifiers are stripped of `r#`).
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Cursor over the source's characters; all movement is by whole `char`s so
+/// slicing stays on UTF-8 boundaries.
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src, chars: src.char_indices().collect(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current character (or end of input).
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Advance while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens. Never panics; unterminated constructs end at EOF.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut out: Vec<Token<'_>> = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start_byte = cur.byte_pos();
+        let start_line = cur.line;
+        let kind = lex_one(&mut cur, c, out.last());
+        let end_byte = cur.byte_pos();
+        let Some(kind) = kind else { continue };
+        let mut text = &src[start_byte..end_byte];
+        if kind == TokenKind::Ident {
+            text = text.strip_prefix("r#").unwrap_or(text);
+        }
+        out.push(Token { kind, text, line: start_line });
+    }
+    out
+}
+
+/// Lex one raw element starting at `c`; `None` for whitespace.
+fn lex_one<'a>(cur: &mut Cursor<'_>, c: char, prev: Option<&Token<'a>>) -> Option<TokenKind> {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return None;
+    }
+
+    // Comments.
+    if c == '/' && cur.peek_at(1) == Some('/') {
+        cur.eat_while(|c| c != '\n');
+        return Some(TokenKind::LineComment);
+    }
+    if c == '/' && cur.peek_at(1) == Some('*') {
+        cur.bump();
+        cur.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (cur.peek(), cur.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    cur.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        return Some(TokenKind::BlockComment);
+    }
+
+    // Literal prefixes: r, b, c and their combinations, raw identifiers.
+    if matches!(c, 'r' | 'b' | 'c') {
+        if let Some(kind) = try_prefixed_literal(cur) {
+            return Some(kind);
+        }
+    }
+
+    // Identifiers / keywords.
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return Some(TokenKind::Ident);
+    }
+
+    // Numbers. A digit right after a `.` punct is a tuple index (`x.0`),
+    // lexed as a plain integer so `x.0.1` can't become a float.
+    if c.is_ascii_digit() {
+        let after_dot = prev.is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".");
+        return Some(lex_number(cur, after_dot));
+    }
+
+    // Strings.
+    if c == '"' {
+        lex_string(cur);
+        return Some(TokenKind::Str);
+    }
+
+    // Char literal or lifetime.
+    if c == '\'' {
+        return Some(lex_quote(cur));
+    }
+
+    // Multi-char operators (maximal munch), else a single punct char.
+    for op in OPERATORS {
+        if matches_str(cur, op) {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            return Some(TokenKind::Punct);
+        }
+    }
+    cur.bump();
+    Some(TokenKind::Punct)
+}
+
+/// Does the upcoming input start with `s`?
+fn matches_str(cur: &Cursor<'_>, s: &str) -> bool {
+    s.chars().enumerate().all(|(i, c)| cur.peek_at(i) == Some(c))
+}
+
+/// `r`/`b`/`c`-prefixed literals and raw identifiers. The cursor sits on
+/// the prefix character; returns `None` if this is just an ordinary
+/// identifier starting with one of those letters.
+fn try_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    // Longest prefixes first: br, cr, then single letters.
+    for prefix in ["br", "cr", "b", "c", "r"] {
+        if !matches_str(cur, prefix) {
+            continue;
+        }
+        let n = prefix.len(); // all-ASCII prefixes: chars == bytes
+        let raw = prefix.ends_with('r');
+        if raw {
+            // r"…", r#"…"#, r#ident (bare `r` only).
+            let mut guards = 0usize;
+            while cur.peek_at(n + guards) == Some('#') {
+                guards += 1;
+            }
+            if cur.peek_at(n + guards) == Some('"') {
+                for _ in 0..n + guards {
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                lex_raw_string_body(cur, guards);
+                return Some(TokenKind::RawStr);
+            }
+            if prefix == "r" && guards >= 1 && cur.peek_at(n + 1).is_some_and(is_ident_start) {
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.eat_while(is_ident_continue);
+                return Some(TokenKind::Ident);
+            }
+        } else {
+            // b"…", c"…", b'…'.
+            match cur.peek_at(n) {
+                Some('"') => {
+                    for _ in 0..n {
+                        cur.bump();
+                    }
+                    lex_string(cur);
+                    return Some(TokenKind::Str);
+                }
+                Some('\'') if prefix == "b" => {
+                    cur.bump(); // b
+                    cur.bump(); // '
+                    lex_char_body(cur);
+                    return Some(TokenKind::Char);
+                }
+                _ => {}
+            }
+        }
+        // A matched prefix that opens no literal falls through to the next
+        // (shorter) candidate — e.g. `break` matches "br" but is an ident.
+    }
+    None
+}
+
+/// Body of a raw string after the opening quote: runs to `"` followed by
+/// `guards` hashes (or EOF).
+fn lex_raw_string_body(cur: &mut Cursor<'_>, guards: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' && (0..guards).all(|i| cur.peek_at(i) == Some('#')) {
+            for _ in 0..guards {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// A `"`-delimited string with escapes; cursor on the opening quote.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// After a consumed `'` (char-literal context): everything up to the
+/// closing quote, escapes respected.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// `'` starts either a char literal or a lifetime. Disambiguation, in
+/// order: `'\…` is a char; `'X'` (any single char then a quote) is a char;
+/// an identifier run *not* closed by `'` is a lifetime; anything else is
+/// treated as a (possibly malformed) char literal.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            lex_char_body(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek_at(1) == Some('\'') {
+                // 'a' — single ident-ish char closed immediately.
+                cur.bump();
+                cur.bump();
+                TokenKind::Char
+            } else {
+                cur.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — empty/malformed char literal; consume the close.
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            // Non-identifier char such as `'+'` or a multi-byte scalar.
+            lex_char_body(cur);
+            TokenKind::Char
+        }
+        None => TokenKind::Char,
+    }
+}
+
+/// A numeric literal; `int_only` forces tuple-index lexing (no `.`/`e`).
+fn lex_number(cur: &mut Cursor<'_>, int_only: bool) -> TokenKind {
+    // Radix prefixes are always integers.
+    if cur.peek() == Some('0')
+        && matches!(cur.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Int;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    if int_only {
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    // Fractional part: a `.` followed by a digit (or by nothing that could
+    // be a field/method/range: `1.` is a float, `1..2` and `1.max(2)` are
+    // not).
+    if cur.peek() == Some('.') {
+        match cur.peek_at(1) {
+            Some(c) if c.is_ascii_digit() => {
+                float = true;
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+            Some('.') => {}                              // range `1..`
+            Some(c) if is_ident_start(c) => {}           // method `1.max(…)`
+            _ => {
+                // trailing-dot float `1.`
+                float = true;
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let (sign, first_digit) = (cur.peek_at(1), cur.peek_at(2));
+        let exp_ok = match sign {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('+' | '-') => first_digit.is_some_and(|c| c.is_ascii_digit()),
+            _ => false,
+        };
+        if exp_ok {
+            float = true;
+            cur.bump(); // e
+            if matches!(cur.peek(), Some('+' | '-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Suffix: `f32`/`f64` force float; integer suffixes stick to int.
+    if matches_str(cur, "f32") || matches_str(cur, "f64") {
+        for _ in 0..3 {
+            cur.bump();
+        }
+        return TokenKind::Float;
+    }
+    cur.eat_while(is_ident_continue); // u8, i64, usize, …
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("let x = a == 1.0;"),
+            vec![
+                (Ident, "let"),
+                (Ident, "x"),
+                (Punct, "="),
+                (Ident, "a"),
+                (Punct, "=="),
+                (Float, "1.0"),
+                (Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_index_is_not_a_float() {
+        let t = kinds("x.0 .1 y.0.1");
+        assert!(t.iter().all(|&(k, _)| k != TokenKind::Float), "{t:?}");
+    }
+
+    #[test]
+    fn float_forms() {
+        for src in ["1.0", "1.", "2e3", "2E-3", "1_000.5", "3f64", "1.5e+10", "7f32"] {
+            let t = kinds(src);
+            assert_eq!(t, vec![(TokenKind::Float, src)], "{src}");
+        }
+        for src in ["1", "0xFF", "0b1010", "10u64", "1_000", "0o77"] {
+            let t = kinds(src);
+            assert_eq!(t, vec![(TokenKind::Int, src)], "{src}");
+        }
+    }
+
+    #[test]
+    fn range_and_method_on_int() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0..10"),
+            vec![(Int, "0"), (Punct, ".."), (Int, "10")]
+        );
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![(Int, "1"), (Punct, "."), (Ident, "max"), (Punct, "("), (Int, "2"), (Punct, ")")]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a"), vec![(Lifetime, "'a")]);
+        assert_eq!(kinds("'a'"), vec![(Char, "'a'")]);
+        assert_eq!(kinds("'\\n'"), vec![(Char, "'\\n'")]);
+        assert_eq!(kinds("'static"), vec![(Lifetime, "'static")]);
+        assert_eq!(kinds("b'x'"), vec![(Char, "b'x'")]);
+        assert_eq!(kinds("'µ'"), vec![(Char, "'µ'")]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "x.unwrap() == 1.0";"#);
+        assert!(t.iter().all(|&(k, x)| k != TokenKind::Float && x != "unwrap"), "{t:?}");
+        let t = kinds(r##"let s = r#"panic!("no")"#;"##);
+        assert_eq!(t[3].0, TokenKind::RawStr);
+        assert!(!t.iter().any(|&(_, x)| x == "panic"));
+    }
+
+    #[test]
+    fn raw_string_guards_and_byte_strings() {
+        use TokenKind::*;
+        assert_eq!(kinds(r###"r##"a "# b"##"###), vec![(RawStr, r###"r##"a "# b"##"###)]);
+        assert_eq!(kinds(r#"b"bytes""#), vec![(Str, r#"b"bytes""#)]);
+        assert_eq!(kinds(r##"br#"raw bytes"#"##), vec![(RawStr, r##"br#"raw bytes"#"##)]);
+        assert_eq!(kinds(r#"c"cstr""#), vec![(Str, r#"c"cstr""#)]);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_sigil() {
+        assert_eq!(kinds("r#type"), vec![(TokenKind::Ident, "type")]);
+        // …but `r` alone and `break` stay ordinary identifiers.
+        assert_eq!(kinds("r break"), vec![(TokenKind::Ident, "r"), (TokenKind::Ident, "break")]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert_eq!(t[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_everything_hits_eof_quietly() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "1e", "r#"] {
+            let _ = tokenize(src); // must not panic
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Inline lint waivers.
+//!
+//! A violation that is *intentional* is silenced at the site, reviewably,
+//! with a comment of the form:
+//!
+//! ```text
+//! // lint: allow(D005) engine invariant: the id was handed out by push()
+//! some_call().unwrap();
+//! ```
+//!
+//! Grammar: `lint:` then `allow(` a comma-separated list of rule ids `)`
+//! then a **mandatory** free-text reason. The waiver covers findings of the
+//! listed rules on its own line (trailing-comment style) and on the first
+//! following line that holds code (comment-above style, so a waiver may sit
+//! atop the statement it covers even with more comment lines in between is
+//! NOT supported — it must be adjacent).
+//!
+//! A waiver with an empty reason is itself reported (rule `W000`) and does
+//! not silence anything: the reason string is the artifact that makes the
+//! waiver auditable. Unused waivers are surfaced as warnings so stale ones
+//! get cleaned up rather than silently accumulating.
+
+use crate::rules::RuleId;
+use crate::tokenizer::{Token, TokenKind};
+
+/// One parsed waiver comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Rules it silences.
+    pub rules: Vec<RuleId>,
+    /// The justification text (may be empty — then the waiver is invalid).
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Marked when some finding consumed this waiver.
+    pub used: bool,
+}
+
+/// Scan comment tokens for waivers. Malformed waivers (unparsable id list)
+/// are returned with an empty rule list so the caller can flag them.
+pub fn collect(tokens: &[Token<'_>]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        if let Some(w) = parse_comment(t.text, t.line) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Parse one comment's text; `None` when it is not a waiver at all.
+/// Waivers live in *plain* comments only — doc comments (`///`, `//!`,
+/// `/**`, `/*!`) are documentation, where waiver-shaped text is prose
+/// (this very module's docs would otherwise be a waiver).
+fn parse_comment(text: &str, line: u32) -> Option<Waiver> {
+    if ["///", "//!", "/**", "/*!"].iter().any(|d| text.starts_with(d)) {
+        return None;
+    }
+    let rest = text.split_once("lint:").map(|(_, r)| r)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (ids, reason) = rest.split_once(')')?;
+    let mut rules = Vec::new();
+    for id in ids.split(',') {
+        match RuleId::parse(id.trim()) {
+            Some(r) => rules.push(r),
+            None => {
+                // Unknown id: return a waiver with no rules; the caller
+                // reports it as invalid rather than silently ignoring it.
+                rules.clear();
+                break;
+            }
+        }
+    }
+    let reason = reason
+        .trim()
+        .trim_end_matches("*/")
+        .trim()
+        .to_string();
+    Some(Waiver { rules, reason, line, used: false })
+}
+
+/// Does `w` cover a finding of `rule` at `line`? Valid placements: same
+/// line, or the line directly above the finding.
+pub fn covers(w: &Waiver, rule: RuleId, line: u32) -> bool {
+    !w.reason.is_empty()
+        && w.rules.contains(&rule)
+        && (w.line == line || w.line + 1 == line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn one(src: &str) -> Waiver {
+        let ws = collect(&tokenize(src));
+        assert_eq!(ws.len(), 1, "{src:?}");
+        ws.into_iter().next().expect("len checked")
+    }
+
+    #[test]
+    fn parses_single_rule_and_reason() {
+        let w = one("// lint: allow(D005) id handed out by push(), always valid");
+        assert_eq!(w.rules, vec![RuleId::D005]);
+        assert_eq!(w.reason, "id handed out by push(), always valid");
+    }
+
+    #[test]
+    fn parses_rule_list() {
+        let w = one("// lint: allow(D005, D006) test harness plumbing");
+        assert_eq!(w.rules, vec![RuleId::D005, RuleId::D006]);
+    }
+
+    #[test]
+    fn empty_reason_is_kept_but_invalid() {
+        let w = one("// lint: allow(D003)");
+        assert!(w.reason.is_empty());
+        assert!(!covers(&w, RuleId::D003, w.line));
+    }
+
+    #[test]
+    fn unknown_rule_id_yields_no_rules() {
+        let w = one("// lint: allow(D999) whatever");
+        assert!(w.rules.is_empty());
+    }
+
+    #[test]
+    fn block_comment_waiver_drops_closer() {
+        let w = one("/* lint: allow(D001) bench-only timing */");
+        assert_eq!(w.reason, "bench-only timing");
+        assert_eq!(w.rules, vec![RuleId::D001]);
+    }
+
+    #[test]
+    fn non_waiver_comments_are_ignored() {
+        assert!(collect(&tokenize("// plain comment\n// allow(D001) nope")).is_empty());
+    }
+
+    #[test]
+    fn coverage_is_same_or_next_line() {
+        let w = one("// lint: allow(D006) report printer\n");
+        assert!(covers(&w, RuleId::D006, 1));
+        assert!(covers(&w, RuleId::D006, 2));
+        assert!(!covers(&w, RuleId::D006, 3));
+        assert!(!covers(&w, RuleId::D005, 1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Fixture tests: one known-bad and one known-good snippet per rule, plus
+//! waiver plumbing and tokenizer edge cases. These are the linter's own
+//! regression net — every rule's detection surface is pinned here so a
+//! tokenizer or scope change that silently blinds a rule fails loudly.
+
+use domino_lint::lint_source;
+use domino_lint::rules::RuleId;
+use domino_lint::tokenizer::{tokenize, TokenKind};
+
+/// Lint `src` as if it lived at `path`, returning the rule ids hit.
+fn rules_at(path: &str, src: &str) -> Vec<RuleId> {
+    lint_source(path, src).into_iter().filter(|v| v.waived.is_none()).map(|v| v.rule).collect()
+}
+
+const SCHED: &str = "crates/scheduler/src/x.rs";
+
+// ---------------------------------------------------------------- D001
+
+#[test]
+fn d001_flags_wall_clock_outside_testkit() {
+    let bad = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D001]);
+    let bad2 = "use std::time::SystemTime;\n";
+    assert_eq!(rules_at(SCHED, bad2), vec![RuleId::D001]);
+}
+
+#[test]
+fn d001_allows_wall_clock_in_testkit_and_bench() {
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    assert!(rules_at("crates/testkit/src/bench.rs", src).is_empty());
+    assert!(rules_at("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d001_allows_duration_type() {
+    // Duration is a plain value type; only the clocks are ambient.
+    let good = "use std::time::Duration;\nfn f(d: Duration) {}\n";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+// ---------------------------------------------------------------- D002
+
+#[test]
+fn d002_flags_hashmap_iteration_in_ordered_crates() {
+    let bad = "use std::collections::HashMap;\n\
+               fn f(m: HashMap<u32, u32>) { for (k, v) in m.iter() { let _ = (k, v); } }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D002]);
+}
+
+#[test]
+fn d002_flags_for_loop_over_hash_binding() {
+    let bad = "use std::collections::HashSet;\n\
+               fn f() { let s: HashSet<u32> = HashSet::new(); for x in &s { let _ = x; } }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D002]);
+}
+
+#[test]
+fn d002_allows_keyed_lookup() {
+    let good = "use std::collections::HashMap;\n\
+                fn f(m: HashMap<u32, u32>) -> Option<u32> { m.get(&1).copied() }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+#[test]
+fn d002_allows_btreemap_iteration() {
+    let good = "use std::collections::BTreeMap;\n\
+                fn f(m: BTreeMap<u32, u32>) { for (k, v) in m.iter() { let _ = (k, v); } }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+#[test]
+fn d002_does_not_apply_outside_ordered_crates() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: HashMap<u32, u32>) { for x in m.values() { let _ = x; } }";
+    assert!(rules_at("crates/stats/src/lib.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D003
+
+#[test]
+fn d003_flags_float_equality() {
+    let bad = "fn f(x: f64) -> bool { x == 1.0 }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D003]);
+    let bad2 = "fn f(x: f64) -> bool { 0.5 != x }";
+    assert_eq!(rules_at(SCHED, bad2), vec![RuleId::D003]);
+}
+
+#[test]
+fn d003_allows_float_ordering_and_int_equality() {
+    let good = "fn f(x: f64, n: u32) -> bool { x > 1.0 && n == 3 }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+#[test]
+fn d003_does_not_confuse_tuple_index_with_float() {
+    // `t.0 == u.0` is integer-field equality, not a float literal.
+    let good = "fn f(t: (u32, u32), u: (u32, u32)) -> bool { t.0 == u.0 }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+#[test]
+fn d003_exempt_in_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(1.0 == 1.0); }\n}\n";
+    assert!(rules_at(SCHED, src).is_empty());
+}
+
+// ---------------------------------------------------------------- D004
+
+#[test]
+fn d004_flags_ambient_randomness() {
+    let bad = "fn f() { let x = rand::thread_rng(); let _ = x; }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D004]);
+}
+
+#[test]
+fn d004_allows_seeded_rng() {
+    let good = "fn f(rng: &mut domino_testkit::rng::Rng) -> u64 { rng.next() }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+// ---------------------------------------------------------------- D005
+
+#[test]
+fn d005_flags_unwrap_in_no_panic_crates() {
+    let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert_eq!(rules_at("crates/phy/src/lib.rs", bad), vec![RuleId::D005]);
+    let bad2 = "fn f() { todo!() }";
+    assert_eq!(rules_at("crates/sim/src/engine.rs", bad2), vec![RuleId::D005]);
+}
+
+#[test]
+fn d005_allows_unwrap_in_tests_and_other_crates() {
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(rules_at("crates/phy/src/lib.rs", in_test).is_empty());
+    // stats is not in the no-panic set.
+    let elsewhere = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert!(rules_at("crates/stats/src/lib.rs", elsewhere).is_empty());
+}
+
+// ---------------------------------------------------------------- D006
+
+#[test]
+fn d006_flags_println_in_library_code() {
+    let bad = "fn f() { println!(\"hi\"); }";
+    assert_eq!(rules_at("crates/mac/src/lib.rs", bad), vec![RuleId::D006]);
+    let bad2 = "fn f() { dbg!(1); }";
+    assert_eq!(rules_at("crates/mac/src/lib.rs", bad2), vec![RuleId::D006]);
+}
+
+#[test]
+fn d006_allows_prints_in_bin_targets_and_tests() {
+    let src = "fn main() { println!(\"report\"); }";
+    assert!(rules_at("crates/bench/src/bin/fig12.rs", src).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n";
+    assert!(rules_at("crates/mac/src/lib.rs", in_test).is_empty());
+}
+
+// ---------------------------------------------------------------- waivers
+
+#[test]
+fn waiver_with_reason_silences_and_records() {
+    let src = "// lint: allow(D005) invariant: id handed out by push\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let vs = lint_source("crates/phy/src/lib.rs", src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].waived.as_deref(), Some("invariant: id handed out by push"));
+}
+
+#[test]
+fn waiver_without_reason_is_w000_and_does_not_silence() {
+    let src = "// lint: allow(D005)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let mut rules = rules_at("crates/phy/src/lib.rs", src);
+    rules.sort();
+    assert_eq!(rules, vec![RuleId::D005, RuleId::W000]);
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_w000() {
+    let src = "// lint: allow(D999) sure\nfn f() {}\n";
+    assert_eq!(rules_at(SCHED, src), vec![RuleId::W000]);
+}
+
+#[test]
+fn waiver_only_reaches_adjacent_line() {
+    let src = "// lint: allow(D005) too far away\n\n\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    let rules = rules_at("crates/phy/src/lib.rs", src);
+    assert!(rules.contains(&RuleId::D005), "waiver two lines up must not apply");
+}
+
+// ------------------------------------------------------- tokenizer edges
+
+#[test]
+fn raw_string_containing_unwrap_is_not_a_call() {
+    let src = "fn f() -> &'static str { r#\"docs say .unwrap() is bad\"# }";
+    assert!(rules_at("crates/phy/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn string_and_comment_bodies_are_inert() {
+    let src = "fn f() -> &'static str { \"std::time::Instant println! x.unwrap()\" }\n\
+               // std::time::Instant::now() in a comment\n\
+               /* nested /* println!(\"hi\") */ still a comment */\n";
+    assert!(rules_at(SCHED, src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_tokenize_as_one_token() {
+    let toks = tokenize("/* a /* b */ c */ fn");
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!(toks[0].text, "/* a /* b */ c */");
+    assert_eq!(toks[1].text, "fn");
+}
+
+#[test]
+fn raw_string_guards_are_respected() {
+    let toks = tokenize(r####"let s = r##"has "# inside"##; x"####);
+    let raw = toks.iter().find(|t| t.kind == TokenKind::RawStr).expect("raw string token");
+    assert_eq!(raw.text, r###"r##"has "# inside"##"###);
+    assert!(toks.iter().any(|t| t.text == "x"), "lexing continued past the raw string");
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
+}
+
+// ---------------------------------------------------------- property test
+
+#[test]
+fn tokenizer_never_panics_on_arbitrary_input() {
+    domino_testkit::prop::check("tokenizer_total", |g| {
+        let bytes = g.vec(0, 200, |g| g.u64(0, 255) as u8);
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        // Must terminate without panicking, and every token must carry a
+        // line number within the source.
+        let lines = src.lines().count().max(1) as u32;
+        for t in tokenize(&src) {
+            assert!(t.line >= 1 && t.line <= lines, "line {} out of range", t.line);
+        }
+    });
+}
+
+#[test]
+fn tokenizer_never_panics_on_rusty_fragments() {
+    // Bias the fuzz toward tricky prefixes the pure byte fuzz rarely forms.
+    const PIECES: &[&str] = &[
+        "r#\"", "\"#", "r##\"", "'a", "'x'", "b'", "/*", "*/", "//", "\n",
+        "0.5", ".0", "==", "r#type", "br\"", "\"", "\\", "unwrap()", "1e9f64",
+    ];
+    domino_testkit::prop::check("tokenizer_fragments", |g| {
+        let n = g.usize(0, 12);
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(PIECES[g.usize(0, PIECES.len() - 1)]);
+        }
+        let _ = tokenize(&src);
+    });
+}

@@ -102,6 +102,7 @@ enum ApPhase {
     AwaitAck,
 }
 
+#[derive(Debug)]
 struct ApState {
     assignments: VecDeque<LinkId>,
     epoch: u64,
@@ -127,6 +128,7 @@ impl ApState {
 }
 
 /// The CENTAUR engine.
+#[derive(Debug)]
 pub struct CentaurSim;
 
 impl CentaurSim {
@@ -241,11 +243,10 @@ impl CentaurSim {
                         let src = first.frame.src;
                         match &first.frame.body {
                             FrameBody::Data { .. } => {
-                                let is_scheduled_ap = ap_states[src.index()]
-                                    .as_ref()
-                                    .is_some_and(|s| s.phase == ApPhase::Transmitting);
-                                if is_scheduled_ap {
-                                    let st = ap_states[src.index()].as_mut().unwrap();
+                                let scheduled_ap = ap_states[src.index()]
+                                    .as_mut()
+                                    .filter(|s| s.phase == ApPhase::Transmitting);
+                                if let Some(st) = scheduled_ap {
                                     st.phase = ApPhase::AwaitAck;
                                     let gen = st.invalidate();
                                     engine.schedule_at(
@@ -280,6 +281,7 @@ impl CentaurSim {
                     csma.try_start_all(now, &mut engine, &medium, &fe);
                 }
                 Ev::Scheme(CentaurEv::EpochArrive { ap, epoch, assignments }) => {
+                    // lint: allow(D005) controller addresses epochs to APs only; a miss is a wiring bug worth a crash
                     let st = ap_states[ap as usize].as_mut().expect("epoch for non-AP");
                     st.assignments = assignments.into();
                     st.epoch = epoch;
@@ -305,6 +307,7 @@ impl CentaurSim {
                 }
                 Ev::Scheme(CentaurEv::ApAckTimeout { ap, gen }) => {
                     let needs = {
+                        // lint: allow(D005) ack timeouts are armed only for AP indices
                         let st = ap_states[ap as usize].as_mut().unwrap();
                         if st.gen != gen || st.phase != ApPhase::AwaitAck {
                             false
@@ -485,7 +488,8 @@ fn ap_arm_fired(
     rate: domino_phy::error_model::DataRate,
     fixed_wait: SimDuration,
 ) {
-    {
+    let packet = {
+        // lint: allow(D005) ApArm events are scheduled for AP indices only
         let st = ap_states[ap].as_mut().unwrap();
         if st.gen != gen || st.phase != ApPhase::Armed {
             return;
@@ -506,7 +510,7 @@ fn ap_arm_fired(
                 // Stale backlog estimate: skip the empty assignment.
             }
         }
-        if st.current.is_none() {
+        let Some(packet) = st.current else {
             st.phase = ApPhase::Idle;
             let m = backbone.send(now, ());
             engine.schedule_at(
@@ -514,10 +518,10 @@ fn ap_arm_fired(
                 Ev::Scheme(CentaurEv::DoneArrive { ap: ap as u32, epoch: st.epoch }),
             );
             return;
-        }
+        };
         st.phase = ApPhase::Transmitting;
-    }
-    let packet = ap_states[ap].as_ref().unwrap().current.unwrap();
+        packet
+    };
     let frame = Frame {
         src: NodeId(ap as u32),
         body: FrameBody::Data { packet, fake: false, client_burst: None },
@@ -579,6 +583,7 @@ fn advance_ap(
     backbone: &mut Backbone,
     fixed_wait: SimDuration,
 ) {
+    // lint: allow(D005) callers index this helper with AP node ids only
     let st = ap_states[ap].as_mut().unwrap();
     if st.current.is_none() && st.assignments.is_empty() {
         st.phase = ApPhase::Idle;

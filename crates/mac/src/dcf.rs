@@ -84,6 +84,7 @@ enum NodeState {
     AwaitAck,
 }
 
+#[derive(Debug)]
 struct CsmaNode {
     out_links: Vec<LinkId>,
     cw: u32,
@@ -102,6 +103,7 @@ impl CsmaNode {
 }
 
 /// The CSMA/CA contention machinery for a set of contending nodes.
+#[derive(Debug)]
 pub struct CsmaCore {
     nodes: Vec<CsmaNode>,
     contender: Vec<bool>,
@@ -253,11 +255,12 @@ impl CsmaCore {
         let packet = match self.nodes[node].current {
             Some(p) => p,
             None => {
+                // lint: allow(D005) backoff countdown only runs while a head packet is queued
                 let head = self.head_packet(node, fe).expect("counting without a packet");
                 let popped = fe
                     .queue_mut(head.link)
                     .pop()
-                    .expect("head packet vanished");
+                    .expect("head packet vanished"); // lint: allow(D005) head_packet just returned it; a miss is queue corruption
                 debug_assert_eq!(popped.id, head.id);
                 self.nodes[node].current = Some(popped);
                 popped
@@ -428,6 +431,7 @@ impl CsmaCore {
 }
 
 /// A pure-DCF simulation run.
+#[derive(Debug)]
 pub struct DcfSim;
 
 impl DcfSim {

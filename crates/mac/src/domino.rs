@@ -29,7 +29,7 @@ use crate::timing::{
     fake_airtime, poll_airtime, rop_slot_duration, slot_geometry, SlotGeometry, ACK_BYTES,
     MAC_OVERHEAD_BYTES, POLL_BYTES, ROP_SYMBOL, SIFS, SLOT_TIME,
 };
-use crate::workload::{RunStats, Workload};
+use crate::workload::{DominoCounters, RunStats, Workload};
 use domino_medium::{Burst, BurstMarker, Frame, FrameBody, Medium, TxId};
 use domino_scheduler::{
     BacklogView, BurstAssignment, Converter, ConverterConfig, RandScheduler, RelativeBatch,
@@ -172,6 +172,7 @@ impl NodeRt {
 }
 
 /// The DOMINO engine.
+#[derive(Debug)]
 pub struct DominoSim;
 
 impl DominoSim {
@@ -196,13 +197,7 @@ impl DominoSim {
         }
         world.fe.stats.events = world.engine.events_processed();
         world.fe.stats.tcp_retransmissions = world.fe.tcp_retransmissions();
-        if std::env::var("DOMINO_DBG").is_ok() {
-            eprintln!(
-                "dbg: bursts_sent={} trig_ok={} trig_fail={} stale={} client_tx={} wd={} kick={} dropped={} dispatched={}",
-                world.dbg[0], world.dbg[1], world.dbg[2], world.dbg[3], world.dbg[4],
-                world.dbg[5], world.dbg[6], world.dbg[7], world.dbg_dispatched
-            );
-        }
+        world.fe.stats.domino = world.counters;
         world.fe.stats
     }
 }
@@ -224,10 +219,8 @@ struct World {
     rop_dur: SimDuration,
     next_slot_id: u64,
     signature_of: Vec<u32>,
-    /// Debug counters (printed when DOMINO_DBG is set).
-    dbg: [u64; 8],
-    /// Actions dispatched to APs (debug).
-    dbg_dispatched: u64,
+    /// Trigger-chain diagnostics, reported on the run's `RunStats`.
+    counters: DominoCounters,
     /// Controller pacing: generation of the next accepted compute event.
     compute_gen: u64,
     /// The controller waits for the first ROP report of the current
@@ -289,8 +282,7 @@ impl World {
             rop_dur,
             next_slot_id: 0,
             signature_of,
-            dbg: [0; 8],
-            dbg_dispatched: 0,
+            counters: DominoCounters::default(),
             compute_gen: 0,
             awaiting_report: false,
             dispatch_time: SimTime::ZERO,
@@ -596,7 +588,7 @@ impl World {
                     .schedule_at(now + offset, DEv::KickOff { ap: ap as u32, slot: a.slot });
             }
         }
-        self.dbg_dispatched += msg.actions.len() as u64;
+        self.counters.actions_dispatched += msg.actions.len() as u64;
         self.nodes[ap].program.extend(msg.actions);
 
         if was_idle && head_is_first && !self.nodes[ap].pending_start {
@@ -652,7 +644,7 @@ impl World {
             return; // a transmitting radio cannot run its correlator
         }
         if now < self.nodes[node].busy_until {
-            self.dbg[3] += 1;
+            self.counters.stale_triggers += 1;
             return; // mid-exchange: the correlator is not armed
         }
         let is_poll_next = self.nodes[node]
@@ -717,7 +709,7 @@ impl World {
     fn ap_execute(&mut self, now: SimTime, ap: usize, slot: u64) {
         while let Some(head) = self.nodes[ap].program.front() {
             if head.slot < slot {
-                self.dbg[7] += 1;
+                self.counters.actions_shed += 1;
                 self.nodes[ap].program.pop_front();
             } else {
                 break;
@@ -750,8 +742,8 @@ impl World {
                     .front()
                     .is_some_and(|a| a.slot == action.slot)
                 {
-                    let next = self.nodes[ap].program.front().map(|a| a.slot).expect("checked");
-                    self.schedule_start(now + self.rop_dur + SLOT_TIME, ap, next);
+                    // The guard above ensures the head slot equals action.slot.
+                    self.schedule_start(now + self.rop_dur + SLOT_TIME, ap, action.slot);
                 }
                 self.arm_watchdog(now, ap);
             }
@@ -792,7 +784,7 @@ impl World {
 
     /// A triggered client transmits its uplink head (or a fake header).
     fn client_transmit(&mut self, now: SimTime, client: usize, slot: u64) {
-        self.dbg[4] += 1;
+        self.counters.client_transmissions += 1;
         let uplink = match self
             .net
             .links()
@@ -1046,10 +1038,10 @@ impl World {
                 }
                 FrameBody::SignatureBurst(b) => {
                     if !r.success {
-                        self.dbg[2] += 1;
+                        self.counters.triggers_failed += 1;
                         continue;
                     }
-                    self.dbg[1] += 1;
+                    self.counters.triggers_detected += 1;
                     self.on_trigger(now, rx, b.marker, b.slot);
                 }
             }
@@ -1073,7 +1065,7 @@ impl World {
         if !matches {
             return None;
         }
-        let action = self.nodes[ap].program.pop_front().expect("checked above");
+        let action = self.nodes[ap].program.pop_front()?;
         self.arm_watchdog(now, ap);
         if let Some(b) = action.own_burst {
             // The data phase consumed `elapsed`; the burst sits at the
@@ -1115,7 +1107,7 @@ impl World {
             body: FrameBody::SignatureBurst(burst),
             bits: 0,
         };
-        self.dbg[0] += 1;
+        self.counters.bursts_sent += 1;
         let tx = self.medium.begin(now, frame);
         self.engine
             .schedule_at(now + crate::timing::BURST_DURATION, DEv::TxEnd { tx });
@@ -1192,7 +1184,7 @@ impl World {
                 return;
             }
         }
-        self.dbg[5] += 1;
+        self.counters.watchdog_restarts += 1;
         // Chain broken: restart individually (§3.3's first-batch rule
         // doubles as the self-healing restart).
         self.self_start(now, ap);
@@ -1218,7 +1210,7 @@ impl World {
             );
             return;
         }
-        self.dbg[6] += 1;
+        self.counters.kick_offs += 1;
         match head.kind {
             ApActionKind::RxData { link } if head.slot == slot => {
                 let client = self.net.link(link).client();
@@ -1344,6 +1336,16 @@ mod tests {
         // One link per slot: 4096 bits / ~492 us slot ≈ 8.3 Mb/s (minus
         // ROP overhead).
         assert!(mbps > 6.0, "DOMINO single link: {mbps} Mb/s");
+        // The trigger-chain diagnostics ride on the run report: a healthy
+        // run is paced by detected triggers, not by fallback timers.
+        let d = stats.domino;
+        assert!(d.bursts_sent > 0, "no signature bursts recorded: {d:?}");
+        assert!(d.triggers_detected > 0, "no triggers recorded: {d:?}");
+        assert!(d.actions_dispatched > 0, "no dispatches recorded: {d:?}");
+        assert!(
+            d.triggers_detected > d.watchdog_restarts,
+            "chain paced by watchdogs, not triggers: {d:?}"
+        );
     }
 
     #[test]

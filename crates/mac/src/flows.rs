@@ -18,6 +18,7 @@ use domino_traffic::{
 pub const TCP_TICK: SimDuration = SimDuration::from_millis(2);
 
 #[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
 enum FlowRuntime {
     Udp(UdpSource),
     Tcp {
@@ -30,6 +31,7 @@ enum FlowRuntime {
 }
 
 /// Queues + flow state + metering for one run.
+#[derive(Debug)]
 pub struct FlowEngine {
     packet_bytes: usize,
     queues: Vec<LinkQueue>,
@@ -139,6 +141,7 @@ impl FlowEngine {
     pub fn udp_next_arrival(&self, flow: usize) -> SimTime {
         match &self.flows[flow] {
             FlowRuntime::Udp(src) => src.next_arrival(),
+            // lint: allow(D005) caller contract: flow index came from a UDP event; misrouting must not silently corrupt stats
             _ => panic!("flow {flow} is not UDP"),
         }
     }
@@ -148,6 +151,7 @@ impl FlowEngine {
     pub fn udp_arrive(&mut self, flow: usize) -> bool {
         let packet = match &mut self.flows[flow] {
             FlowRuntime::Udp(src) => src.emit((flow as u64) << 40),
+            // lint: allow(D005) caller contract: arrival events carry UDP flow indices only
             _ => panic!("flow {flow} is not UDP"),
         };
         let ok = self.queues[packet.link.index()].push(packet);
@@ -162,6 +166,7 @@ impl FlowEngine {
     pub fn tcp_tick(&mut self, flow: usize, now: SimTime) {
         let packets = match &mut self.flows[flow] {
             FlowRuntime::Tcp { sender, .. } => sender.poll(now),
+            // lint: allow(D005) caller contract: tick events carry TCP flow indices only
             _ => panic!("flow {flow} is not TCP"),
         };
         self.enqueue_all(packets);
@@ -179,6 +184,7 @@ impl FlowEngine {
     pub fn tcp_timer(&mut self, flow: usize, now: SimTime) {
         let packets = match &mut self.flows[flow] {
             FlowRuntime::Tcp { sender, .. } => sender.on_timer(now),
+            // lint: allow(D005) caller contract: RTO events carry TCP flow indices only
             _ => panic!("flow {flow} is not TCP"),
         };
         self.enqueue_all(packets);
@@ -210,7 +216,7 @@ impl FlowEngine {
             }
             PacketKind::TcpData => {
                 let flow_idx = self.flow_of_link[packet.link.index()]
-                    .expect("TCP data on a link without a flow");
+                    .expect("TCP data on a link without a flow"); // lint: allow(D005) TCP packets are only minted by a flow on that link
                 let mss = self.packet_bytes as u64 * 8;
                 let (ack, link, reverse) = match &mut self.flows[flow_idx] {
                     FlowRuntime::Tcp { receiver, link, reverse, delivered_segments, .. } => {
@@ -222,6 +228,7 @@ impl FlowEngine {
                         self.stats.delivered_bits[link.index()] += newly * mss;
                         (ack, *link, *reverse)
                     }
+                    // lint: allow(D005) flow_of_link maps TCP links to TCP runtimes by construction
                     _ => panic!("flow mismatch"),
                 };
                 self.stats.delays[link.index()]
@@ -248,9 +255,10 @@ impl FlowEngine {
                     .flows
                     .iter()
                     .position(|f| matches!(f, FlowRuntime::Tcp { reverse, .. } if *reverse == packet.link))
-                    .expect("TCP ack on a link that is no flow's reverse");
+                    .expect("TCP ack on a link that is no flow's reverse"); // lint: allow(D005) acks are minted with reverse = some flow's data link
                 let released = match &mut self.flows[flow_idx] {
                     FlowRuntime::Tcp { sender, .. } => sender.on_ack(packet.seq, now),
+                    // lint: allow(D005) position() above matched a Tcp variant at this index
                     _ => unreachable!(),
                 };
                 self.enqueue_all(released);

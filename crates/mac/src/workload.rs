@@ -118,6 +118,35 @@ pub struct RunStats {
     /// DOMINO only: one record per slot transmission, for the Fig 10
     /// timeline and the Fig 11 misalignment analysis.
     pub slot_starts: Vec<SlotStartRecord>,
+    /// DOMINO only: trigger-chain diagnostics (all zero for other MACs).
+    pub domino: DominoCounters,
+}
+
+/// DOMINO trigger-chain diagnostics, accumulated during a run and carried
+/// on [`RunStats`] so they flow through the normal reporting path (no
+/// stderr side channel). Healthy runs show `triggers_detected` dominating
+/// `watchdog_restarts`/`kick_offs`: the relative chain, not the fallback
+/// timers, is what paces the schedule (§3.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DominoCounters {
+    /// Signature bursts put on the air.
+    pub bursts_sent: u64,
+    /// Bursts whose signature a targeted receiver detected.
+    pub triggers_detected: u64,
+    /// Bursts lost to the channel (correlator miss / SINR failure).
+    pub triggers_failed: u64,
+    /// Triggers discarded because the receiver was mid-exchange.
+    pub stale_triggers: u64,
+    /// Client-driven slot starts (uplink data or fake header).
+    pub client_transmissions: u64,
+    /// Watchdog-initiated chain restarts (§3.3's self-start rule).
+    pub watchdog_restarts: u64,
+    /// Untriggerable entries started by their estimated-time fallback.
+    pub kick_offs: u64,
+    /// Program entries shed because their slot had clearly passed.
+    pub actions_shed: u64,
+    /// Program entries dispatched to APs over the wire.
+    pub actions_dispatched: u64,
 }
 
 /// One DOMINO slot transmission.
@@ -146,6 +175,7 @@ impl RunStats {
             events: 0,
             tcp_retransmissions: 0,
             slot_starts: Vec::new(),
+            domino: DominoCounters::default(),
         }
     }
 

@@ -35,6 +35,7 @@ pub struct Reception {
     pub sinr_db: f64,
 }
 
+#[derive(Debug)]
 struct RxTrack {
     rx: NodeId,
     /// Peak interference (mW) observed at `rx` during the transmission,
@@ -45,6 +46,7 @@ struct RxTrack {
     rx_transmitted: bool,
 }
 
+#[derive(Debug)]
 struct ActiveTx {
     id: TxId,
     frame: Frame,
@@ -64,6 +66,7 @@ pub struct MediumCounters {
 }
 
 /// The shared channel.
+#[derive(Debug)]
 pub struct Medium {
     net: Network,
     active: Vec<ActiveTx>,

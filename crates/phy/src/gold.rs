@@ -98,6 +98,7 @@ fn product_shifted(a: &Code, b: &Code, shift: usize) -> Code {
 /// paper deploys; §5 discusses scaling past 127 nodes per collision
 /// domain with longer codes, which [`GoldFamily::degree9`] provides
 /// (513 codes of length 511, 25.55 µs per signature at 20 Mchip/s).
+#[derive(Debug)]
 pub struct GoldFamily {
     codes: Vec<Code>,
 }

@@ -70,6 +70,7 @@ pub fn received_spectrum(scenario: SpectrumScenario, seed: u64) -> Vec<(i32, f64
     let (_, spectrum) = decode_symbol(&cfg, &layout, &rx, &[0, 1], &DecoderConfig::default());
 
     // Report bins from DC out past the second subchannel.
+    // lint: allow(D005) subchannel bin lists are non-empty by construction
     let last_bin = *layout.data_bins(1).last().unwrap() + 4;
     (1..=last_bin)
         .map(|b| (b, spectrum[layout.bin_to_fft_index(b)]))

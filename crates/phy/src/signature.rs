@@ -302,6 +302,7 @@ pub fn detection_experiment(
                 codes.push(c);
             }
         }
+        // lint: allow(D005) the loop above pushes combined + 1 distinct codes before exiting
         let absent_code = codes.pop().expect("probe code");
         let target = codes[rng.below(codes.len() as u64) as usize];
 

@@ -25,7 +25,7 @@
 use crate::schedule::{BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule};
 use domino_phy::units::Dbm;
 use domino_topology::{ConflictGraph, LinkId, Network, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Converter tuning (paper §3.2/§3.3 constants).
 #[derive(Clone, Debug)]
@@ -72,6 +72,7 @@ pub struct ConversionOutcome {
 
 /// Stateful strict→relative converter (retains the batch-connection
 /// slot).
+#[derive(Debug)]
 pub struct Converter {
     cfg: ConverterConfig,
     retained: Option<Vec<SlotEntry>>,
@@ -317,8 +318,12 @@ impl Converter {
             }
         }
 
-        let mut outbound: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        let mut inbound: HashMap<NodeId, usize> = HashMap::new();
+        // BTreeMaps, deliberately (lint rule D002): `outbound` is drained
+        // into the burst list and `inbound` seeds the per-pass trigger
+        // counts, so hash order here would let the §3.3 highest-RSS-first
+        // tie-breaks drift between runs as the code evolves.
+        let mut outbound: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut inbound: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut untriggered: Vec<LinkId> = Vec::new();
 
         // Two passes: primary trigger for everyone, then secondary
@@ -452,7 +457,7 @@ mod tests {
         let _ = conv.convert(&net, &graph, &fig7_strict(&net), &[]);
         let outcome = conv.convert(&net, &graph, &fig7_strict(&net), &[]);
         let check = |bursts: &[BurstAssignment]| {
-            let mut inbound: HashMap<NodeId, usize> = HashMap::new();
+            let mut inbound: BTreeMap<NodeId, usize> = BTreeMap::new();
             for b in bursts {
                 assert!(b.targets.len() <= 4, "outbound cap violated: {b:?}");
                 for &t in &b.targets {

@@ -75,6 +75,17 @@ pub struct Engine<E> {
     processed: u64,
 }
 
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Payloads need not be Debug; summarize the queue instead.
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("processed", &self.processed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<E> Default for Engine<E> {
     fn default() -> Self {
         Self::new()
@@ -157,11 +168,11 @@ impl<E> Engine<E> {
     /// the next event lies beyond the horizon (the clock then stays put).
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         loop {
-            let next_time = self.queue.peek()?.time;
-            if next_time > horizon {
+            let head = self.queue.peek_mut()?;
+            if head.time > horizon {
                 return None;
             }
-            let entry = self.queue.pop().expect("peeked entry vanished");
+            let entry = std::collections::binary_heap::PeekMut::pop(head);
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
@@ -181,9 +192,9 @@ impl<E> Engine<E> {
     /// Timestamp of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Prune leading tombstones so the peek is accurate.
-        while let Some(head) = self.queue.peek() {
+        while let Some(head) = self.queue.peek_mut() {
             if self.cancelled.contains(&head.seq) {
-                let e = self.queue.pop().expect("peeked entry vanished");
+                let e = std::collections::binary_heap::PeekMut::pop(head);
                 self.cancelled.remove(&e.seq);
             } else {
                 return Some(head.time);

@@ -194,7 +194,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 
@@ -209,7 +209,7 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 
@@ -217,7 +217,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 
@@ -225,7 +225,7 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 
@@ -240,7 +240,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 
@@ -255,7 +255,7 @@ impl core::ops::Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow")) // lint: allow(D005) overflow guard: clock arithmetic must crash, not wrap
     }
 }
 

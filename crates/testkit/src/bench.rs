@@ -82,6 +82,7 @@ impl Default for BenchConfig {
 
 /// A named group of benchmarks; prints its table and writes JSON on
 /// [`finish`](Harness::finish).
+#[derive(Debug)]
 pub struct Harness {
     group: String,
     config: BenchConfig,
@@ -144,12 +145,15 @@ impl Harness {
 
     /// Print the report table and write the JSON summary; call last.
     pub fn finish(self) {
+        // lint: allow(D006) the bench harness reports on stdout by design
         println!("# bench group: {}", self.group);
+        // lint: allow(D006) bench report table header
         println!(
             "{:<44} {:>12} {:>12} {:>12} {:>12}",
             "name", "median", "p95", "mean", "min"
         );
         for r in &self.results {
+            // lint: allow(D006) bench report table row
             println!(
                 "{:<44} {:>12} {:>12} {:>12} {:>12}",
                 r.name,
@@ -162,6 +166,7 @@ impl Harness {
         if let Ok(dir) = std::env::var("TESTKIT_BENCH_JSON") {
             if !dir.is_empty() {
                 if let Err(e) = self.write_json(&dir) {
+                    // lint: allow(D006) IO failure diagnostic; the harness has no other channel
                     eprintln!("testkit-bench: failed to write JSON to {dir}: {e}");
                 }
             }

@@ -56,6 +56,7 @@ impl Default for Config {
     }
 }
 
+#[derive(Debug)]
 enum Source {
     /// Fresh generation: draw from the RNG, record every choice.
     Random(Rng),
@@ -68,6 +69,7 @@ enum Source {
 ///
 /// Every `Gen` method maps one or more recorded `u64` choices into a typed
 /// value such that choice 0 is the minimal value of the range.
+#[derive(Debug)]
 pub struct Gen {
     source: Source,
     recorded: Vec<u64>,

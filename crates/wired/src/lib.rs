@@ -66,6 +66,7 @@ pub struct InTransit<M> {
 /// The backbone: draws an independent latency per message and computes
 /// delivery times. The caller (the simulation harness) owns the event
 /// queue; this type owns the randomness and the accounting.
+#[derive(Debug)]
 pub struct Backbone {
     latency: WiredLatency,
     rng: SimRng,

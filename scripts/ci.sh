@@ -20,6 +20,19 @@ echo "== hermeticity: whole workspace (all targets, no network) =="
 cargo build --release --offline --workspace --benches
 cargo test -q --offline --workspace
 
+echo "== lint: domino-lint (determinism & correctness rules) =="
+# Unwaived violations (or reasonless waivers) exit non-zero and fail CI.
+cargo run --release --offline -q -p domino-lint
+
+echo "== lint: clippy =="
+# The container may lack clippy; the curated [workspace.lints] clippy set
+# still applies through rustc when it is absent.
+if command -v cargo-clippy >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -q -- -D warnings
+else
+    echo "cargo-clippy not installed; skipping"
+fi
+
 echo "== hermeticity: lockfile =="
 if grep -q '^source = ' Cargo.lock; then
     echo "ERROR: Cargo.lock contains registry-sourced packages:" >&2
