@@ -1,101 +1,25 @@
-//! Ablations of DOMINO's design choices (DESIGN.md §5): fake-link
-//! insertion, the redundant second trigger (inbound cap), the outbound
-//! cap, batch size × wired jitter, and signature length.
+//! Ablations — converter mechanisms, batching, signatures.
 //!
-//! Each row answers "what does this mechanism buy?" on the trace-driven
-//! T(10,2) with the paper's default workload (10 Mb/s downlink, 4 Mb/s
-//! uplink UDP).
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::ablations`; this binary only
+//! parses flags and prints. Prefer `domino-run ablations`.
 
-use domino_bench::{mbps, HarnessArgs};
-use domino_core::{scenarios, Scheme, SimulationBuilder};
-use domino_mac::domino::DominoConfig;
-use domino_phy::signature::SIGNATURE_DURATION_NS;
-use domino_phy::GoldFamily;
-use domino_scheduler::ConverterConfig;
-use domino_stats::Table;
-use domino_wired::WiredLatency;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::standard_t(10, 2, args.seed);
-    let duration = args.duration(3.0);
-    let run = |cfg: DominoConfig| {
-        SimulationBuilder::new(net.clone())
-            .udp(10e6, 4e6)
-            .duration_s(duration)
-            .seed(args.seed)
-            .domino_config(cfg)
-            .run(Scheme::Domino)
-    };
-
-    // --- Converter mechanisms.
-    let mut t = Table::new(
-        "Ablation — converter mechanisms on T(10,2), UDP 10/4 Mb/s",
-        &["variant", "throughput (Mb/s)", "fairness", "mean delay (ms)"],
-    );
-    let variants: Vec<(&str, ConverterConfig)> = vec![
-        ("baseline (paper defaults)", ConverterConfig::default()),
-        (
-            "no fake links",
-            ConverterConfig { insert_fake_links: false, ..ConverterConfig::default() },
-        ),
-        (
-            "single trigger (inbound 1)",
-            ConverterConfig { max_inbound: 1, ..ConverterConfig::default() },
-        ),
-        (
-            "outbound cap 2",
-            ConverterConfig { max_outbound: 2, ..ConverterConfig::default() },
-        ),
-    ];
-    for (name, conv) in variants {
-        let r = run(DominoConfig { converter: conv, ..DominoConfig::default() });
-        t.row(&[
-            name.to_string(),
-            mbps(r.aggregate_mbps()),
-            format!("{:.2}", r.fairness()),
-            format!("{:.1}", r.mean_delay_us() / 1000.0),
-        ]);
-    }
-    println!("{}", t.render());
-
-    // --- Batch size x wired jitter.
-    let mut t = Table::new(
-        "Ablation — batch size x wired jitter (throughput, Mb/s)",
-        &["batch slots", "jitter 22 us", "jitter 60 us", "jitter 120 us"],
-    );
-    for batch in [2usize, 5, 10] {
-        let mut row = vec![batch.to_string()];
-        for std_us in [22.0, 60.0, 120.0] {
-            let r = run(DominoConfig {
-                batch_slots: batch,
-                wired: WiredLatency::with_std(std_us),
-                ..DominoConfig::default()
-            });
-            row.push(mbps(r.aggregate_mbps()));
+fn main() -> ExitCode {
+    match run_single("ablations", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        t.row(&row);
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-
-    // --- Signature length (§5): overhead per slot vs supportable nodes.
-    let mut t = Table::new(
-        "Signature-length trade-off (§5)",
-        &["family", "codes", "chips", "airtime (us)", "per-slot overhead"],
-    );
-    let slot_us = 492.0;
-    for (name, fam) in [("degree-7 (paper)", GoldFamily::degree7()), ("degree-9", GoldFamily::degree9())] {
-        let chips = fam.code(0).len();
-        let airtime_us = chips as f64 * (SIGNATURE_DURATION_NS as f64 / 127.0) / 1000.0;
-        // Two signature phases per slot (instruction appendix + burst).
-        let overhead = 4.0 * airtime_us / slot_us;
-        t.row(&[
-            name.to_string(),
-            fam.len().to_string(),
-            chips.to_string(),
-            format!("{airtime_us:.2}"),
-            format!("{:.1}%", overhead * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
 }

@@ -1,65 +1,25 @@
-//! Fig 2: per-link and overall throughput on the Fig 1 motivation
-//! topology (AP1→C1, C2→AP2, AP3→C3 saturated) under all four schemes.
+//! Fig 2 — motivating 3-link scenario across schemes.
 //!
-//! Paper's claims: the omniscient scheme is 76 % above DCF and 61 % above
-//! CENTAUR; DOMINO performs close to omniscient; DCF starves the hidden
-//! link AP3→C3 and serializes the exposed uplink C2→AP2.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig02_motivation`; this binary only
+//! parses flags and prints. Prefer `domino-run fig02_motivation`.
 
-use domino_bench::{mbps, HarnessArgs};
-use domino_core::{scenarios, Scheme, SimulationBuilder, Workload};
-use domino_stats::Table;
-use domino_topology::NodeId;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::fig1();
-    let l_ap1 = net
-        .links()
-        .iter()
-        .find(|l| l.is_downlink() && l.sender == NodeId(0))
-        .unwrap()
-        .id;
-    let l_c2 = net
-        .links()
-        .iter()
-        .find(|l| !l.is_downlink() && l.ap == NodeId(2))
-        .unwrap()
-        .id;
-    let l_ap3 = net
-        .links()
-        .iter()
-        .find(|l| l.is_downlink() && l.sender == NodeId(4))
-        .unwrap()
-        .id;
-
-    let builder = SimulationBuilder::new(net)
-        .workload(Workload::udp_saturated(&[l_ap1, l_c2, l_ap3]))
-        .duration_s(args.duration(5.0))
-        .seed(args.seed);
-
-    let mut table = Table::new(
-        "Fig 2 — throughput on the Fig 1 network (Mb/s)",
-        &["scheme", "AP1->C1", "C2->AP2", "AP3->C3", "overall"],
-    );
-    let mut overall = Vec::new();
-    for scheme in [Scheme::Dcf, Scheme::Centaur, Scheme::Domino, Scheme::Omniscient] {
-        let r = builder.run(scheme);
-        table.row(&[
-            scheme.label().to_string(),
-            mbps(r.link_mbps(l_ap1)),
-            mbps(r.link_mbps(l_c2)),
-            mbps(r.link_mbps(l_ap3)),
-            mbps(r.aggregate_mbps()),
-        ]);
-        overall.push((scheme, r.aggregate_mbps()));
+fn main() -> ExitCode {
+    match run_single("fig02_motivation", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", table.render());
-
-    let get = |s: Scheme| overall.iter().find(|(x, _)| *x == s).unwrap().1;
-    println!(
-        "omniscient/DCF = {:.2} (paper: 1.76), omniscient/CENTAUR = {:.2} (paper: 1.61), DOMINO/omniscient = {:.2} (paper: ~close)",
-        get(Scheme::Omniscient) / get(Scheme::Dcf),
-        get(Scheme::Omniscient) / get(Scheme::Centaur),
-        get(Scheme::Domino) / get(Scheme::Omniscient),
-    );
 }

@@ -1,43 +1,25 @@
-//! Fig 5: the received OFDM spectrum at the AP for two clients on
-//! adjacent subchannels — (a) similar RSS, no guard; (b) 30 dB RSS gap,
-//! no guard; (c) 30 dB gap with 3 guard subcarriers.
+//! Fig 5 — ROP sample spectra for three occupancy scenarios.
 //!
-//! Sample-level DSP: real encode → channel impairments → FFT → amplitude
-//! per bin. The paper's observation: in (b) the first three subcarriers
-//! of the weak subchannel are buried by the strong neighbour's leakage;
-//! in (c) the guard bins absorb it.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig05_rop_samples`; this binary only
+//! parses flags and prints. Prefer `domino-run fig05_rop_samples`.
 
-use domino_bench::HarnessArgs;
-use domino_phy::ofdm::{received_spectrum, SpectrumScenario};
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn print_scenario(name: &str, scenario: SpectrumScenario, seed: u64) {
-    let spec = received_spectrum(scenario, seed);
-    let peak = spec.iter().map(|&(_, a)| a).fold(f64::MIN, f64::max);
-    let mut t = Table::new(name, &["bin", "amplitude (dB rel. peak)", ""]);
-    for (bin, amp) in &spec {
-        let db = 20.0 * (amp / peak).max(1e-9).log10();
-        let bars = ((db + 60.0).max(0.0) / 2.0) as usize;
-        t.row(&[bin.to_string(), format!("{db:7.1}"), "#".repeat(bars)]);
+fn main() -> ExitCode {
+    match run_single("fig05_rop_samples", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-}
-
-fn main() {
-    let args = HarnessArgs::parse();
-    print_scenario(
-        "Fig 5a — adjacent subchannels, similar RSS, no guard (bits 111111 / 011111)",
-        SpectrumScenario::SimilarRssNoGuard,
-        args.seed,
-    );
-    print_scenario(
-        "Fig 5b — adjacent subchannels, 30 dB RSS difference, no guard",
-        SpectrumScenario::Unequal30DbNoGuard,
-        args.seed + 1,
-    );
-    print_scenario(
-        "Fig 5c — adjacent subchannels, 30 dB RSS difference, 3 guard subcarriers",
-        SpectrumScenario::Unequal30DbWithGuard,
-        args.seed + 2,
-    );
 }

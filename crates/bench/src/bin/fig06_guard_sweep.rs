@@ -1,46 +1,25 @@
-//! Fig 6: correct-decoding ratio of the weaker of two adjacent ROP
-//! clients vs their RSS difference (15–40 dB), for 0–4 guard subcarriers.
+//! Fig 6 — ROP decoding error vs guard band width.
 //!
-//! Paper's claim: "a separation of three subcarriers is sufficient as
-//! long as the RSS difference is no more than 38 dB".
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig06_guard_sweep`; this binary only
+//! parses flags and prints. Prefer `domino-run fig06_guard_sweep`.
 
-use domino_bench::HarnessArgs;
-use domino_phy::ofdm::guard_sweep;
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let trials = args.trials(80, 1000);
-    let guards = [0usize, 1, 2, 3, 4];
-    let diffs: Vec<f64> = (0..=10).map(|i| 15.0 + 2.5 * i as f64).collect();
-    let points = guard_sweep(&guards, &diffs, trials, args.seed);
-
-    let header: Vec<String> = std::iter::once("RSS diff (dB)".to_string())
-        .chain(guards.iter().map(|g| format!("{g} guards")))
-        .collect();
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "Fig 6 — weak-client correct-decode ratio (%) vs RSS difference",
-        &header_refs,
-    );
-    for &d in &diffs {
-        let mut row = vec![format!("{d:.1}")];
-        for &g in &guards {
-            let p = points
-                .iter()
-                .find(|p| p.guard == g && (p.rss_diff_db - d).abs() < 1e-9)
-                .expect("sweep point");
-            row.push(format!("{:.0}", p.decode_ratio * 100.0));
+fn main() -> ExitCode {
+    match run_single("fig06_guard_sweep", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        t.row(&row);
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-
-    // The paper's headline number: the tolerance of 3 guard subcarriers.
-    let tol3 = points
-        .iter()
-        .filter(|p| p.guard == 3 && p.decode_ratio >= 0.95)
-        .map(|p| p.rss_diff_db)
-        .fold(0.0, f64::max);
-    println!("3-guard tolerance (>=95% decode): {tol3:.1} dB (paper: 38 dB)");
 }

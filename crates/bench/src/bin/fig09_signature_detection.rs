@@ -1,46 +1,25 @@
-//! Fig 9: signature detection ratio vs number of combined signatures
-//! (1–7), for the paper's five sender setups, from the sample-level
-//! Gold-code correlator.
+//! Fig 9 — signature detection vs concurrent transmitters.
 //!
-//! Paper's claims: detection is nearly 100 % for up to 4 combined
-//! signatures in every setup, degrades beyond, and false positives stay
-//! below 1 %. This experiment is why DOMINO caps the outbound signature
-//! count at 4.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig09_signature_detection`; this binary only
+//! parses flags and prints. Prefer `domino-run fig09_signature_detection`.
 
-use domino_bench::HarnessArgs;
-use domino_phy::signature::{detection_experiment, Fig9Setup};
-use domino_phy::GoldFamily;
-use domino_sim::rng::streams;
-use domino_sim::SimRng;
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let runs = args.trials(200, 1000);
-    let family = GoldFamily::degree7();
-    let mut rng = SimRng::derive(args.seed, streams::PHY_SAMPLES);
-
-    let header: Vec<String> = std::iter::once("combined".to_string())
-        .chain(Fig9Setup::ALL.iter().map(|s| s.label().to_string()))
-        .collect();
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        &format!("Fig 9 — signature detection ratio (% of {runs} runs)"),
-        &header_refs,
-    );
-    let mut worst_fp: f64 = 0.0;
-    for k in 1..=7 {
-        let mut row = vec![k.to_string()];
-        for setup in Fig9Setup::ALL {
-            let stats = detection_experiment(&family, setup, k, 10.0, runs, &mut rng);
-            row.push(format!("{:.1}", stats.detection_ratio * 100.0));
-            worst_fp = worst_fp.max(stats.false_positive_ratio);
+fn main() -> ExitCode {
+    match run_single("fig09_signature_detection", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        t.row(&row);
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-    println!(
-        "worst false-positive ratio: {:.2}% (paper: below 1% throughout)",
-        worst_fp * 100.0
-    );
 }

@@ -1,45 +1,25 @@
-//! Fig 10: the transmission timeline of the Fig 7 network under DOMINO
-//! with all uplink and downlink flows saturated — the paper's
-//! "microscope" view showing triggers between slots, fake packets, ROP
-//! slots and the self-healing of the initial wired-jitter misalignment.
+//! Fig 10 — slot timeline and misalignment trace.
+//!
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig10_timeline`; this binary only
+//! parses flags and prints. Prefer `domino-run fig10_timeline`.
 
-use domino_bench::HarnessArgs;
-use domino_core::{scenarios, Scheme, SimulationBuilder};
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::fig7();
-    let report = SimulationBuilder::new(net.clone())
-        .udp(10e6, 10e6)
-        .duration_s(args.duration(0.2))
-        .seed(args.seed)
-        .run(Scheme::Domino);
-
-    println!("## Fig 10 — DOMINO timeline on the Fig 7 network (first 40 slot transmissions)\n");
-    println!("{:>10}  {:>5}  {:<18} kind", "start(us)", "slot", "link");
-    for rec in report.stats.slot_starts.iter().take(40) {
-        let l = net.link(rec.link);
-        let dir = if l.is_downlink() { "->" } else { "<-" };
-        println!(
-            "{:>10.1}  {:>5}  AP{} {} client{:<5} {}",
-            rec.start_ns as f64 / 1000.0,
-            rec.slot,
-            l.ap.0 / 2 + 1,
-            dir,
-            l.client().0,
-            if rec.fake { "fake (header only)" } else { "data" },
-        );
+fn main() -> ExitCode {
+    match run_single("fig10_timeline", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-
-    println!("\n## Misalignment per slot (µs) — §4.2.2's healing in action\n");
-    for (slot, mis) in report.misalignment_by_slot().iter().take(12) {
-        println!("slot {slot:>3}: {mis:7.2} us  {}", "#".repeat((*mis as usize).min(60)));
-    }
-    let fakes = report.stats.slot_starts.iter().filter(|r| r.fake).count();
-    println!(
-        "\ntotal slot transmissions: {}, of which fake keep-alives: {} ({:.1}%)",
-        report.stats.slot_starts.len(),
-        fakes,
-        100.0 * fakes as f64 / report.stats.slot_starts.len().max(1) as f64
-    );
 }

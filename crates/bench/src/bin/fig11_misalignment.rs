@@ -1,50 +1,25 @@
-//! Fig 11: maximum transmission misalignment at the start of the
-//! contention-free period vs slot index, for wired latency jitter of
-//! 20/40/60/80 µs on T(10,2).
+//! Fig 11 — slot misalignment vs wired jitter.
 //!
-//! Paper's claim: the initial misalignment (10–20 µs depending on jitter)
-//! is reduced to 1–2 µs within 4 slots, because each transmitter
-//! re-anchors to the last correctly received trigger.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig11_misalignment`; this binary only
+//! parses flags and prints. Prefer `domino-run fig11_misalignment`.
 
-use domino_bench::HarnessArgs;
-use domino_core::{scenarios, Scheme, SimulationBuilder};
-use domino_mac::domino::DominoConfig;
-use domino_stats::Table;
-use domino_wired::WiredLatency;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::standard_t(10, 2, args.seed);
-    let jitters = [20.0, 40.0, 60.0, 80.0];
-    let slots = 8usize;
-
-    let mut series: Vec<Vec<f64>> = Vec::new();
-    for &std_us in &jitters {
-        let cfg = DominoConfig { wired: WiredLatency::with_std(std_us), ..DominoConfig::default() };
-        let report = SimulationBuilder::new(net.clone())
-            .udp(10e6, 10e6)
-            .duration_s(args.duration(0.5))
-            .seed(args.seed)
-            .domino_config(cfg)
-            .run(Scheme::Domino);
-        let mis = report.misalignment_by_slot();
-        series.push((0..slots as u64)
-            .map(|s| mis.iter().find(|&&(idx, _)| idx == s).map(|&(_, m)| m).unwrap_or(0.0))
-            .collect());
-    }
-
-    let header: Vec<String> = std::iter::once("slot".to_string())
-        .chain(jitters.iter().map(|j| format!("{j:.0} us jitter")))
-        .collect();
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut t = Table::new("Fig 11 — max TX misalignment (µs) vs slot index", &header_refs);
-    for s in 0..slots {
-        let mut row = vec![s.to_string()];
-        for col in &series {
-            row.push(format!("{:.2}", col[s]));
+fn main() -> ExitCode {
+    match run_single("fig11_misalignment", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        t.row(&row);
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-    println!("paper: initial 10–20 us, reduced to 1–2 us within 4 slots");
 }

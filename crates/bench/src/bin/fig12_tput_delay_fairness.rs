@@ -1,101 +1,25 @@
-//! Fig 12: UDP and TCP aggregate throughput, mean per-link delay and
-//! Jain's fairness on T(10,2), downlink fixed at 10 Mb/s per link and the
-//! uplink rate swept 0–10 Mb/s — DOMINO vs CENTAUR vs DCF.
+//! Fig 12 — throughput/delay/fairness vs offered load.
 //!
-//! Paper's claims: DOMINO outperforms DCF by 74 % at zero uplink UDP,
-//! decreasing to 24 % at 10 Mb/s uplink; fairness ≈ 0.78 vs 0.47 for
-//! DCF; DCF delay ≈ 2× DOMINO; CENTAUR can fall below DCF at low uplink
-//! rates; TCP gains are 10–15 % with fairness gains of 17–39 %.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig12_tput_delay_fairness`; this binary only
+//! parses flags and prints. Prefer `domino-run fig12_tput_delay_fairness`.
 
-use domino_bench::{mbps, HarnessArgs};
-use domino_core::{scenarios, RunReport, Scheme, SimulationBuilder};
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn sweep(
-    net: &domino_topology::Network,
-    tcp: bool,
-    rates: &[f64],
-    duration: f64,
-    seed: u64,
-) -> Vec<(f64, Vec<RunReport>)> {
-    rates
-        .iter()
-        .map(|&up| {
-            let builder = SimulationBuilder::new(net.clone()).duration_s(duration).seed(seed);
-            let builder = if tcp { builder.tcp(10e6, up) } else { builder.udp(10e6, up) };
-            let reports = [Scheme::Domino, Scheme::Centaur, Scheme::Dcf]
-                .iter()
-                .map(|&s| builder.run(s))
-                .collect();
-            (up, reports)
-        })
-        .collect()
-}
-
-fn print_block(title: &str, rows: &[(f64, Vec<RunReport>)]) {
-    let mut tput = Table::new(
-        &format!("{title} — aggregate throughput (Mb/s)"),
-        &["uplink (Mb/s)", "DOMINO", "CENTAUR", "DCF", "DOMINO/DCF"],
-    );
-    let mut delay = Table::new(
-        &format!("{title} — average delay per link (ms)"),
-        &["uplink (Mb/s)", "DOMINO", "CENTAUR", "DCF"],
-    );
-    let mut fair = Table::new(
-        &format!("{title} — Jain's fairness index"),
-        &["uplink (Mb/s)", "DOMINO", "CENTAUR", "DCF"],
-    );
-    for (up, reports) in rows {
-        let (d, c, f) = (&reports[0], &reports[1], &reports[2]);
-        tput.row(&[
-            format!("{up:.0}", up = up / 1e6),
-            mbps(d.aggregate_mbps()),
-            mbps(c.aggregate_mbps()),
-            mbps(f.aggregate_mbps()),
-            format!("{:.2}", d.aggregate_mbps() / f.aggregate_mbps().max(1e-9)),
-        ]);
-        delay.row(&[
-            format!("{:.0}", up / 1e6),
-            format!("{:.2}", d.mean_delay_us() / 1000.0),
-            format!("{:.2}", c.mean_delay_us() / 1000.0),
-            format!("{:.2}", f.mean_delay_us() / 1000.0),
-        ]);
-        fair.row(&[
-            format!("{:.0}", up / 1e6),
-            format!("{:.2}", d.fairness()),
-            format!("{:.2}", c.fairness()),
-            format!("{:.2}", f.fairness()),
-        ]);
+fn main() -> ExitCode {
+    match run_single("fig12_tput_delay_fairness", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", tput.render());
-    println!("{}", delay.render());
-    println!("{}", fair.render());
-}
-
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::standard_t(10, 2, args.seed);
-    {
-        use domino_topology::conflict::{pair_stats, ConflictGraph};
-        let g = ConflictGraph::build(&net);
-        let stats = pair_stats(&net, &g);
-        println!(
-            "T(10,2): {} links, {} hidden and {} exposed of {} non-sharing link pairs (paper: 10 hidden, 62 exposed of 720)\n",
-            net.links().len(),
-            stats.hidden,
-            stats.exposed,
-            stats.total
-        );
-    }
-    let rates: Vec<f64> = if args.full {
-        (0..=5).map(|i| 2e6 * i as f64).collect()
-    } else {
-        vec![0.0, 4e6, 10e6]
-    };
-    let duration = args.duration(4.0);
-
-    let udp = sweep(&net, false, &rates, duration, args.seed);
-    print_block("Fig 12(a-c) UDP", &udp);
-    let tcp = sweep(&net, true, &rates, duration, args.seed);
-    print_block("Fig 12(d-f) TCP", &tcp);
 }

@@ -1,40 +1,25 @@
-//! Fig 14: CDF of the DOMINO/DCF throughput gain over repeated random
-//! T(20,3) topologies (80 nodes in an 800 m × 800 m area, ns-3 default
-//! path loss, saturated-ish UDP).
+//! Fig 14 — CDF of DOMINO/DCF gain over random topologies.
 //!
-//! Paper's claim: the gain varies from 1.22× to 1.96× with a median of
-//! 1.58×.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::fig14_gain_cdf`; this binary only
+//! parses flags and prints. Prefer `domino-run fig14_gain_cdf`.
 
-use domino_bench::HarnessArgs;
-use domino_core::{scenarios, Scheme, SimulationBuilder};
-use domino_stats::Cdf;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let runs = args.trials(10, 50);
-    let duration = args.duration(2.0);
-
-    let mut gains = Vec::with_capacity(runs);
-    for i in 0..runs {
-        let seed = args.seed + i as u64 * 1000;
-        let net = scenarios::random_t(20, 3, seed);
-        let builder = SimulationBuilder::new(net).udp(10e6, 10e6).duration_s(duration).seed(seed);
-        let domino = builder.run(Scheme::Domino);
-        let dcf = builder.run(Scheme::Dcf);
-        let gain = domino.gain_over(&dcf);
-        println!("run {i:>2}: DOMINO {:.2} Mb/s, DCF {:.2} Mb/s, gain {gain:.2}x",
-            domino.aggregate_mbps(), dcf.aggregate_mbps());
-        gains.push(gain);
+fn main() -> ExitCode {
+    match run_single("fig14_gain_cdf", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-
-    let cdf = Cdf::from_samples(gains);
-    println!("\n## Fig 14 — CDF of DOMINO/DCF throughput gain ({runs} random T(20,3) topologies)\n");
-    for (x, p) in cdf.points() {
-        println!("{x:5.2}x  {p:4.2}  {}", "#".repeat((p * 50.0) as usize));
-    }
-    let (lo, hi) = cdf.range();
-    println!(
-        "\nrange {lo:.2}x – {hi:.2}x, median {:.2}x (paper: 1.22x – 1.96x, median 1.58x)",
-        cdf.median()
-    );
 }

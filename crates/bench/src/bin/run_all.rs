@@ -1,53 +1,34 @@
-//! Run every experiment regenerator in sequence (quick scale unless
-//! `--full`). This is the one command that reproduces the paper's whole
-//! evaluation section.
+//! Alias kept for muscle memory: forwards to `domino-run all`, which owns
+//! the experiment registry, the work pool, and the `--check` gate. The
+//! list of experiments lives in exactly one place
+//! (`domino_runner::registry::REGISTRY`) — this binary knows none of it.
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-const BINS: [&str; 13] = [
-    "table1_params",
-    "fig05_rop_samples",
-    "fig06_guard_sweep",
-    "fig09_signature_detection",
-    "fig02_motivation",
-    "table2_usrp",
-    "fig10_timeline",
-    "fig11_misalignment",
-    "fig12_tput_delay_fairness",
-    "table3_exposed",
-    "fig14_gain_cdf",
-    "sec5_light_traffic",
-    "ablations",
-];
-
-fn main() {
+fn main() -> ExitCode {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    let mut failures = Vec::new();
-    for bin in BINS {
-        println!("\n=================== {bin} ===================\n");
-        let status = Command::new(dir.join(bin))
-            .args(&passthrough)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        if !status.success() {
-            failures.push(bin);
+    let runner = match std::env::current_exe() {
+        Ok(exe) => match exe.parent() {
+            Some(dir) => dir.join("domino-run"),
+            None => {
+                eprintln!("cannot locate own directory to find domino-run");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot locate own path: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-    // The polling sweep is the slowest; keep it last.
-    println!("\n=================== sec5_polling_sweep ===================\n");
-    let status = Command::new(dir.join("sec5_polling_sweep"))
-        .args(&passthrough)
-        .status()
-        .expect("spawn sec5_polling_sweep");
-    if !status.success() {
-        failures.push("sec5_polling_sweep");
-    }
-    if failures.is_empty() {
-        println!("\nall experiments completed");
-    } else {
-        eprintln!("\nFAILED: {failures:?}");
-        std::process::exit(1);
+    };
+    match Command::new(&runner).arg("all").args(&passthrough).status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!(
+                "cannot run {}: {e}\nbuild it first: cargo build --release --workspace",
+                runner.display()
+            );
+            ExitCode::FAILURE
+        }
     }
 }

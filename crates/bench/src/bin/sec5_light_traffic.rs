@@ -1,41 +1,25 @@
-//! §5 "Light traffic load": packet delay of DOMINO vs DCF on T(6,5) with
-//! 6 kB/s (48 kb/s) per-link traffic — far below saturation, where
-//! DOMINO's control overhead costs delay instead of buying throughput.
+//! §5 — delay under light traffic.
 //!
-//! Paper's claim: "the delay of DOMINO is only 1.14× higher than the
-//! delay of DCF, which is not extremely high."
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::sec5_light_traffic`; this binary only
+//! parses flags and prints. Prefer `domino-run sec5_light_traffic`.
 
-use domino_bench::HarnessArgs;
-use domino_core::{scenarios, Scheme, SimulationBuilder};
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::standard_t(6, 5, args.seed);
-    let rate = 6.0 * 8.0 * 1000.0; // 6 kB/s per link
-    let builder = SimulationBuilder::new(net)
-        .udp(rate, rate)
-        .duration_s(args.duration(5.0))
-        .seed(args.seed);
-
-    let domino = builder.run(Scheme::Domino);
-    let dcf = builder.run(Scheme::Dcf);
-
-    let mut t = Table::new(
-        "§5 light traffic — T(6,5) at 6 kB/s per link",
-        &["scheme", "throughput (Mb/s)", "mean delay (ms)", "drops"],
-    );
-    for r in [&domino, &dcf] {
-        t.row(&[
-            r.scheme.label().to_string(),
-            format!("{:.3}", r.aggregate_mbps()),
-            format!("{:.2}", r.mean_delay_us() / 1000.0),
-            r.stats.drops.to_string(),
-        ]);
+fn main() -> ExitCode {
+    match run_single("sec5_light_traffic", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-    println!(
-        "DOMINO/DCF delay ratio: {:.2} (paper: 1.14)",
-        domino.mean_delay_us() / dcf.mean_delay_us().max(1e-9)
-    );
 }

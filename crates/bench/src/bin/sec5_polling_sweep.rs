@@ -1,43 +1,25 @@
-//! §5 "Polling frequency": delay and throughput of UDP on T(10,2) as the
-//! batch size (the reciprocal of polling frequency — ROP runs once per
-//! batch) varies, under heavy (5 Mb/s per link) and light (500 kb/s per
-//! link) traffic.
+//! §5 — polling-frequency sweep.
 //!
-//! Paper's observation: under heavy traffic, larger batches slightly
-//! lower delay and raise throughput; under light traffic, delay *grows*
-//! with the batch size.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::sec5_polling_sweep`; this binary only
+//! parses flags and prints. Prefer `domino-run sec5_polling_sweep`.
 
-use domino_bench::{mbps, HarnessArgs};
-use domino_core::{scenarios, Scheme, SimulationBuilder};
-use domino_mac::domino::DominoConfig;
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let net = scenarios::standard_t(10, 2, args.seed);
-    let batch_sizes = [2usize, 5, 10, 20];
-    let duration = args.duration(4.0);
-
-    for (label, rate) in [("heavy (5 Mb/s per link)", 5e6), ("light (500 kb/s per link)", 0.5e6)] {
-        let mut t = Table::new(
-            &format!("§5 polling-frequency sweep — {label}"),
-            &["batch size (slots)", "throughput (Mb/s)", "mean delay (ms)"],
-        );
-        for &batch in &batch_sizes {
-            let cfg = DominoConfig { batch_slots: batch, ..DominoConfig::default() };
-            let report = SimulationBuilder::new(net.clone())
-                .udp(rate, rate)
-                .duration_s(duration)
-                .seed(args.seed)
-                .domino_config(cfg)
-                .run(Scheme::Domino);
-            t.row(&[
-                batch.to_string(),
-                mbps(report.aggregate_mbps()),
-                format!("{:.2}", report.mean_delay_us() / 1000.0),
-            ]);
+fn main() -> ExitCode {
+    match run_single("sec5_polling_sweep", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        println!("{}", t.render());
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("paper: heavy traffic — delay slightly decreases / throughput slightly increases with batch size; light traffic — delay increases with batch size");
 }

@@ -1,42 +1,25 @@
-//! Table 1: the OFDM symbol parameters of ROP vs plain WiFi, printed from
-//! the implementation's own constants (so the table cannot drift from the
-//! code).
+//! Table 1 — ROP symbol parameters.
+//!
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::table1_params`; this binary only
+//! parses flags and prints. Prefer `domino-run table1_params`.
 
-use domino_phy::ofdm::{RopSymbolConfig, SAMPLE_RATE_HZ};
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = RopSymbolConfig::default();
-    let layout = cfg.layout();
-    let wifi_cp_us = 16.0 / SAMPLE_RATE_HZ * 1e6;
-    let wifi_sym_us = 80.0 / SAMPLE_RATE_HZ * 1e6;
-
-    let mut t = Table::new("Table 1 — OFDM symbol parameters", &["parameter", "WiFi", "ROP"]);
-    t.row(&["number of subcarriers".into(), "64".into(), cfg.n_fft.to_string()]);
-    t.row(&[
-        "subcarriers per subchannel".into(),
-        "-".into(),
-        cfg.data_per_subchannel.to_string(),
-    ]);
-    t.row(&["guard subcarriers".into(), "-".into(), cfg.guard_subcarriers.to_string()]);
-    t.row(&[
-        "number of subchannels".into(),
-        "-".into(),
-        layout.num_subchannels().to_string(),
-    ]);
-    t.row(&[
-        "CP duration".into(),
-        format!("{wifi_cp_us:.1} us"),
-        format!("{:.1} us", cfg.cp_duration_us()),
-    ]);
-    t.row(&[
-        "symbol duration".into(),
-        format!("{wifi_sym_us:.0} us"),
-        format!("{:.0} us", cfg.symbol_duration_us()),
-    ]);
-    println!("{}", t.render());
-    println!(
-        "max queue report per subchannel: {} packets (6-bit 2-ASK)",
-        cfg.max_queue_report()
-    );
+fn main() -> ExitCode {
+    match run_single("table1_params", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
 }

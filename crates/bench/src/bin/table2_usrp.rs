@@ -1,62 +1,25 @@
-//! Table 2: aggregate throughput of DOMINO vs DCF in the three USRP
-//! prototype scenarios — same contention domain (SC), hidden terminals
-//! (HT), exposed terminals (ET) — two saturated AP→client pairs.
+//! Table 2 — USRP-scale testbed scenarios.
 //!
-//! The paper's absolute numbers are kb/s because the USRP/GNURadio host
-//! path is ~3 orders of magnitude slower than an ASIC; what transfers is
-//! the *ratio* structure: DOMINO ≈ 1.5× DCF even without hidden/exposed
-//! effects (no backoff overhead), and > 3× under HT/ET. We run the same
-//! scenario structure at full 802.11g speed and report both Mb/s and the
-//! kb/s-equivalent under the measured USRP slowdown (documented
-//! substitution; see DESIGN.md).
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::table2_usrp`; this binary only
+//! parses flags and prints. Prefer `domino-run table2_usrp`.
 
-use domino_bench::{mbps, ratio, HarnessArgs};
-use domino_core::{scenarios, Scheme, SimulationBuilder, Workload};
-use domino_mac::domino::DominoConfig;
-use domino_scheduler::ConverterConfig;
-use domino_stats::Table;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-/// Throughput scale between our 12 Mb/s PHY simulation and the paper's
-/// USRP prototype (their DCF-SC measured 2.76 kb/s vs our ~7.4 Mb/s).
-const USRP_SLOWDOWN: f64 = 2680.0;
-
-fn main() {
-    let args = HarnessArgs::parse();
-    let mut t = Table::new(
-        "Table 2 — aggregate throughput, 2 saturated downlink pairs",
-        &["scenario", "DOMINO (Mb/s)", "DCF (Mb/s)", "gain", "DOMINO (USRP-eq kb/s)", "DCF (USRP-eq kb/s)"],
-    );
-    for scenario in scenarios::UsrpScenario::ALL {
-        let net = scenarios::usrp_scenario(scenario);
-        let downlinks: Vec<_> = net
-            .links()
-            .iter()
-            .filter(|l| l.is_downlink())
-            .map(|l| l.id)
-            .collect();
-        // The prototype preloads schedules and has saturated queues; no
-        // ROP runs (paper §4.1: "the transmission schedules are already
-        // loaded in each AP").
-        let domino_cfg = DominoConfig {
-            converter: ConverterConfig { insert_rop: false, ..ConverterConfig::default() },
-            ..DominoConfig::default()
-        };
-        let builder = SimulationBuilder::new(net)
-            .workload(Workload::udp_saturated(&downlinks))
-            .duration_s(args.duration(5.0))
-            .seed(args.seed)
-            .domino_config(domino_cfg);
-        let domino = builder.run(Scheme::Domino).aggregate_mbps();
-        let dcf = builder.run(Scheme::Dcf).aggregate_mbps();
-        t.row(&[
-            scenario.label().to_string(),
-            mbps(domino),
-            mbps(dcf),
-            ratio(domino / dcf),
-            format!("{:.2}", domino * 1000.0 / USRP_SLOWDOWN),
-            format!("{:.2}", dcf * 1000.0 / USRP_SLOWDOWN),
-        ]);
+fn main() -> ExitCode {
+    match run_single("table2_usrp", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-    println!("paper (kb/s): SC 4.25/2.76 (1.54x), HT 5.42/1.62 (3.35x), ET 9.18/2.72 (3.38x)");
 }

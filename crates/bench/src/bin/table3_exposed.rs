@@ -1,46 +1,25 @@
-//! Table 3: aggregate throughput with four pairs of exposed downlinks —
-//! Fig 13(a), where all links are mutually exposed, vs Fig 13(b), where
-//! three senders share one common exposed neighbour.
+//! Table 3 — exposed-terminal topologies.
 //!
-//! Paper's numbers (Mb/s): 13a — DOMINO 32.72, CENTAUR 28.60, DCF 9.97;
-//! 13b — DOMINO 33.85, CENTAUR 18.35, DCF 22.13. The point: CENTAUR's
-//! carrier-sense alignment collapses in 13(b) (below DCF) while DOMINO is
-//! topology-insensitive.
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::table3_exposed`; this binary only
+//! parses flags and prints. Prefer `domino-run table3_exposed`.
 
-use domino_bench::{mbps, HarnessArgs};
-use domino_core::{scenarios, Scheme, SimulationBuilder, Workload};
-use domino_stats::Table;
-use domino_topology::PhyParams;
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
 
-fn main() {
-    let args = HarnessArgs::parse();
-    let mut t = Table::new(
-        "Table 3 — aggregate throughput with 4 exposed downlink pairs (Mb/s)",
-        &["topology", "DOMINO", "CENTAUR", "DCF"],
-    );
-    for (name, net) in [
-        ("Fig 13(a)", scenarios::fig13a(PhyParams::default())),
-        ("Fig 13(b)", scenarios::fig13b(PhyParams::default())),
-    ] {
-        let downlinks: Vec<_> = net
-            .links()
-            .iter()
-            .filter(|l| l.is_downlink())
-            .map(|l| l.id)
-            .collect();
-        let builder = SimulationBuilder::new(net)
-            .workload(Workload::udp_saturated(&downlinks))
-            .duration_s(args.duration(5.0))
-            .seed(args.seed);
-        let row: Vec<String> = std::iter::once(name.to_string())
-            .chain(
-                [Scheme::Domino, Scheme::Centaur, Scheme::Dcf]
-                    .iter()
-                    .map(|&s| mbps(builder.run(s).aggregate_mbps())),
-            )
-            .collect();
-        t.row(&row);
+fn main() -> ExitCode {
+    match run_single("table3_exposed", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
-    println!("{}", t.render());
-    println!("paper: 13a 32.72/28.60/9.97, 13b 33.85/18.35/22.13");
 }

@@ -1,106 +1,26 @@
 //! # domino-bench
 //!
-//! The experiment harness of the DOMINO reproduction: one binary per
-//! table and figure of the paper's evaluation (`src/bin/*`), plus
-//! Criterion micro-benchmarks of the substrates (`benches/*`).
+//! Benchmarks and experiment entry points:
 //!
-//! Every binary accepts two optional flags:
+//! * `benches/*` — micro-benchmarks of the substrates (engine, PHY DSP,
+//!   scheduling, medium, end-to-end), run via `cargo bench` or the
+//!   testkit harness (`TESTKIT_BENCH_JSON` writes machine-readable
+//!   results).
+//! * `src/bin/*` — one thin binary per table and figure of the paper's
+//!   evaluation, kept for `cargo run --bin <name>` muscle memory. Each
+//!   delegates to [`domino_runner::single::run_single`]; the experiment
+//!   logic itself (sharding, seed derivation, rendering) lives in
+//!   `domino_runner::experiments`, and `run_all` forwards to
+//!   `domino-run all`.
 //!
-//! * `--full` — run at the paper's scale (50 s simulations, 1000-trial
-//!   sweeps). Without it, a reduced-but-representative scale runs in
-//!   seconds.
-//! * `--seed <n>` — override the master seed.
-//!
-//! Output is plain-text tables whose rows mirror the paper's; the
-//! expected shape per experiment is recorded in `EXPERIMENTS.md`.
+//! The flag surface is unchanged from the old in-binary harness —
+//! `--full` for paper scale, `--seed <n>` — plus `--jobs <n>` for the
+//! worker count. Output bytes are a pure function of
+//! `(experiment, scale, seed)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Command-line configuration shared by all experiment binaries.
-#[derive(Clone, Copy, Debug)]
-pub struct HarnessArgs {
-    /// Paper-scale run?
-    pub full: bool,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl HarnessArgs {
-    /// Parse from `std::env::args`.
-    pub fn parse() -> HarnessArgs {
-        let mut args = HarnessArgs { full: false, seed: 1 };
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--full" => args.full = true,
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                "--help" | "-h" => {
-                    // lint: allow(D006) CLI usage text for the bench binaries
-                    eprintln!("flags: --full (paper scale), --seed <n>");
-                    std::process::exit(0);
-                }
-                other => {
-                    // lint: allow(D006) CLI diagnostic for the bench binaries
-                    eprintln!("unknown flag {other}; try --help");
-                    std::process::exit(2);
-                }
-            }
-        }
-        args
-    }
-
-    /// Simulation duration: the paper's 50 s with `--full`, else `quick`.
-    pub fn duration(&self, quick: f64) -> f64 {
-        if self.full {
-            50.0
-        } else {
-            quick
-        }
-    }
-
-    /// Trial count: `full_trials` with `--full`, else `quick`.
-    pub fn trials(&self, quick: usize, full_trials: usize) -> usize {
-        if self.full {
-            full_trials
-        } else {
-            quick
-        }
-    }
-}
-
-/// Format a Mb/s value for a table cell.
-pub fn mbps(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-/// Format a ratio/gain for a table cell.
-pub fn ratio(v: f64) -> String {
-    format!("{v:.2}x")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn duration_scaling() {
-        let quick = HarnessArgs { full: false, seed: 1 };
-        let full = HarnessArgs { full: true, seed: 1 };
-        assert_eq!(quick.duration(5.0), 5.0);
-        assert_eq!(full.duration(5.0), 50.0);
-        assert_eq!(quick.trials(100, 1000), 100);
-        assert_eq!(full.trials(100, 1000), 1000);
-    }
-
-    #[test]
-    fn formatting() {
-        assert_eq!(mbps(32.719), "32.72");
-        assert_eq!(ratio(1.955), "1.96x");
-    }
-}
+// The crate's substance is in `benches/` and `src/bin/`; the library
+// target exists so the doc above has a home and the bins share an edition.
+pub use domino_runner as runner;

@@ -155,6 +155,29 @@ fn d006_allows_prints_in_bin_targets_and_tests() {
     assert!(rules_at("crates/mac/src/lib.rs", in_test).is_empty());
 }
 
+// ------------------------------------------------- runner scope (D001/D006)
+
+#[test]
+fn d001_applies_to_the_runner_crate() {
+    // The runner is deliberately NOT in the wall-clock set: it measures
+    // shard time through testkit's Stopwatch, so a raw Instant — in the
+    // library or in the domino-run binary — is a determinism leak.
+    let bad = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules_at("crates/runner/src/pool.rs", bad), vec![RuleId::D001]);
+    assert_eq!(rules_at("crates/runner/src/bin/domino_run.rs", bad), vec![RuleId::D001]);
+}
+
+#[test]
+fn d006_splits_runner_library_from_its_cli() {
+    let src = "fn f() { println!(\"progress\"); }";
+    // The runner library renders experiment text and the JSON manifest as
+    // Strings — printing there would bypass the bins that own stdout…
+    assert_eq!(rules_at("crates/runner/src/lib.rs", src), vec![RuleId::D006]);
+    assert_eq!(rules_at("crates/runner/src/experiments/mod.rs", src), vec![RuleId::D006]);
+    // …while the domino-run binary is the one place that may print.
+    assert!(rules_at("crates/runner/src/bin/domino_run.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- waivers
 
 #[test]

@@ -1,0 +1,204 @@
+//! `domino-run` — regenerate and verify the paper's evaluation outputs.
+//!
+//! ```text
+//! domino-run [all | <experiment>...] [flags]
+//!
+//!   --full         paper scale (50 s simulations, 1000-trial sweeps)
+//!   --seed <n>     master seed (default 1)
+//!   --jobs <n>     worker threads (default: all hardware threads)
+//!   --check        byte-diff regenerated output against results/ instead
+//!                  of writing; exit 1 on any mismatch
+//!   --json <path>  write a JSON manifest with per-shard wall times
+//!   --out <dir>    results directory (default: ./results, falling back
+//!                  to the directory committed next to the workspace)
+//!   --list         list registered experiments and exit
+//! ```
+//!
+//! Output text is a pure function of `(experiment, scale, seed)`; the
+//! jobs count and shard completion order never change a byte.
+
+use domino_runner::registry::{self, Experiment, REGISTRY};
+use domino_runner::scale::Scale;
+use domino_runner::{check_against, pool, render_manifest, run_experiment, CheckStatus};
+use domino_testkit::bench::Stopwatch;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    names: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    check: bool,
+    json: Option<PathBuf>,
+    out: Option<PathBuf>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: domino-run [all | <experiment>...] \
+[--full] [--seed <n>] [--jobs <n>] [--check] [--json <path>] [--out <dir>] [--list]";
+
+fn parse(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        names: Vec::new(),
+        scale: Scale::Quick,
+        seed: registry::DEFAULT_SEED,
+        jobs: pool::default_jobs(),
+        check: false,
+        json: None,
+        out: None,
+        list: false,
+    };
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => cli.scale = Scale::Full,
+            "--seed" => {
+                cli.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--jobs" => {
+                cli.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs needs a positive integer")?;
+            }
+            "--check" => cli.check = true,
+            "--json" => cli.json = Some(it.next().ok_or("--json needs a path")?.into()),
+            "--out" => cli.out = Some(it.next().ok_or("--out needs a directory")?.into()),
+            "--list" => cli.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+/// Resolve the positional names into registry entries, in registry order
+/// for `all`/empty and in the order given otherwise.
+fn select(names: &[String]) -> Result<Vec<&'static Experiment>, String> {
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        return Ok(REGISTRY.iter().collect());
+    }
+    names
+        .iter()
+        .map(|n| {
+            registry::find(n).ok_or_else(|| {
+                format!("unknown experiment {n}; `domino-run --list` shows the registry")
+            })
+        })
+        .collect()
+}
+
+/// `--out` if given, else `./results` when present, else the `results/`
+/// directory committed next to this workspace.
+fn results_dir(cli: &Cli) -> PathBuf {
+    if let Some(dir) = &cli.out {
+        return dir.clone();
+    }
+    let cwd = PathBuf::from("results");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn main() -> ExitCode {
+    let cli = match parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for e in &REGISTRY {
+            println!("{:<28} {}", e.name, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected = match select(&cli.names) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = results_dir(&cli);
+    if !cli.check {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let total = Stopwatch::start();
+    let mut runs = Vec::with_capacity(selected.len());
+    let mut mismatches = 0usize;
+    for exp in selected {
+        let run = run_experiment(exp, cli.scale, cli.seed, cli.jobs);
+        let verdict = if cli.check {
+            match check_against(&dir, &run) {
+                CheckStatus::Match => "check: match".to_string(),
+                CheckStatus::Missing => {
+                    mismatches += 1;
+                    format!("check: MISSING {}", dir.join(run.output).display())
+                }
+                CheckStatus::Differs { line, expected, actual } => {
+                    mismatches += 1;
+                    format!(
+                        "check: DIFFERS at line {line}\n  committed:   {expected}\n  regenerated: {actual}"
+                    )
+                }
+            }
+        } else {
+            match std::fs::write(dir.join(run.output), &run.text) {
+                Ok(()) => format!("wrote {}", dir.join(run.output).display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", dir.join(run.output).display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        println!(
+            "{:<28} {:>9.1} ms  {:>3} shard{}  {verdict}",
+            run.name,
+            run.elapsed_ns as f64 / 1e6,
+            run.shard_ns.len(),
+            if run.shard_ns.len() == 1 { " " } else { "s" },
+        );
+        runs.push(run);
+    }
+    let wall_ns = total.elapsed_ns();
+
+    if let Some(path) = &cli.json {
+        let manifest =
+            render_manifest(cli.scale, cli.seed, cli.jobs, pool::default_jobs(), &runs, wall_ns);
+        if let Err(e) = std::fs::write(path, manifest) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("manifest: {}", path.display());
+    }
+
+    println!(
+        "{} experiment{} in {:.1} s (jobs={})",
+        runs.len(),
+        if runs.len() == 1 { "" } else { "s" },
+        wall_ns as f64 / 1e9,
+        cli.jobs,
+    );
+    if mismatches > 0 {
+        eprintln!("{mismatches} experiment(s) differ from {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the experiment ports.
+
+use domino_sim::SimRng;
+use domino_testkit::rng::shard_stream;
+
+/// Format a Mb/s value for a table cell (same convention the original
+/// `crates/bench` binaries used).
+pub fn mbps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a ratio/gain for a table cell.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Derive the RNG of one shard: a pure function of the master seed and
+/// the `(experiment, shard)` identity, independent of worker scheduling.
+pub fn shard_rng(master_seed: u64, experiment: &str, shard: u64) -> SimRng {
+    SimRng::derive(master_seed, shard_stream(experiment, shard))
+}
+
+/// Append a rendered table the way the original binaries printed it:
+/// `println!("{}", table.render())` emits the render plus one newline.
+pub fn push_block(out: &mut String, block: &str) {
+    out.push_str(block);
+    out.push('\n');
+}
+
+/// `writeln!`-style append that cannot fail on `String`.
+macro_rules! outln {
+    ($out:expr) => { $out.push('\n') };
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)*);
+    }};
+}
+pub(crate) use outln;

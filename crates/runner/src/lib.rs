@@ -1,0 +1,223 @@
+//! # domino-runner
+//!
+//! The deterministic parallel experiment runner of the DOMINO
+//! reproduction. Every table and figure of the paper's evaluation is
+//! registered here as an [`Experiment`](registry::Experiment): a function
+//! that, given a [`Scale`](scale::Scale) and a master seed, builds a
+//! [`Plan`](plan::Plan) — a list of independent *shards* (one per sweep
+//! point or trial block) plus a merge function that renders the shard
+//! results into the experiment's `results/*.txt` text.
+//!
+//! Three properties make the runner's output trustworthy:
+//!
+//! * **Shard-local randomness.** Every shard that needs randomness derives
+//!   its generator as `SimRng::derive(master_seed,
+//!   shard_stream(experiment, shard))` (see
+//!   [`domino_testkit::rng::shard_stream`]), so a shard's draws depend only
+//!   on what it computes — never on which worker thread ran it.
+//! * **Index-ordered merge.** The [work pool](pool) hands results back
+//!   tagged with their shard index and the merge consumes them in index
+//!   order, so the rendered text is **byte-identical for any `--jobs`
+//!   count and any completion order**.
+//! * **Byte-exact pinning.** `domino-run --check` regenerates every
+//!   experiment in memory and byte-diffs it against the committed
+//!   `results/` files, turning them into golden pins that CI enforces.
+//!
+//! The library is lint-clean under rules D001 and D006: wall time is
+//! measured only through [`domino_testkit::bench::Stopwatch`], and nothing
+//! here prints — rendered text and the `--json` manifest are returned as
+//! strings for the `domino-run` binary (which may print) to emit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plan;
+pub mod pool;
+pub mod registry;
+pub mod scale;
+pub mod single;
+
+use registry::Experiment;
+use scale::Scale;
+
+/// One executed experiment: rendered output plus per-shard wall times.
+#[derive(Debug)]
+pub struct ExperimentRun {
+    /// Experiment name (registry key, also the `src/bin` name it replaced).
+    pub name: &'static str,
+    /// File name under `results/` this experiment renders.
+    pub output: &'static str,
+    /// The rendered output text (what `results/<output>` should contain).
+    pub text: String,
+    /// Wall time of each shard in nanoseconds, in shard-index order.
+    pub shard_ns: Vec<u64>,
+    /// Wall time of the whole experiment (shards + merge) in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Run one experiment at the given scale/seed across `jobs` workers.
+///
+/// The returned text is a pure function of `(experiment, scale, seed)` —
+/// `jobs` affects wall time only.
+pub fn run_experiment(exp: &Experiment, scale: Scale, seed: u64, jobs: usize) -> ExperimentRun {
+    let watch = domino_testkit::bench::Stopwatch::start();
+    let built = (exp.plan)(scale, seed);
+    let (shards, finish) = built.into_parts();
+    let runs = pool::run_indexed(jobs, shards);
+    let mut shard_ns = Vec::with_capacity(runs.len());
+    let mut data = Vec::with_capacity(runs.len());
+    for run in runs {
+        shard_ns.push(run.elapsed_ns);
+        data.push(run.value);
+    }
+    let text = finish(data);
+    ExperimentRun {
+        name: exp.name,
+        output: exp.output,
+        text,
+        shard_ns,
+        elapsed_ns: watch.elapsed_ns(),
+    }
+}
+
+/// How one experiment's regenerated text compares to the committed file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// Byte-identical to the committed file.
+    Match,
+    /// The committed file does not exist (or is unreadable).
+    Missing,
+    /// Differs; carries the first differing 1-based line with both sides.
+    Differs {
+        /// First line number (1-based) where the texts diverge.
+        line: usize,
+        /// That line as committed (empty if the committed file is shorter).
+        expected: String,
+        /// That line as regenerated (empty if the regenerated text is shorter).
+        actual: String,
+    },
+}
+
+/// Byte-compare a run's text against `<dir>/<output>`.
+pub fn check_against(dir: &std::path::Path, run: &ExperimentRun) -> CheckStatus {
+    let Ok(committed) = std::fs::read_to_string(dir.join(run.output)) else {
+        return CheckStatus::Missing;
+    };
+    if committed == run.text {
+        return CheckStatus::Match;
+    }
+    let mut want = committed.lines();
+    let mut got = run.text.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (want.next(), got.next()) {
+            (Some(w), Some(g)) if w == g => continue,
+            (w, g) => {
+                return CheckStatus::Differs {
+                    line,
+                    expected: w.unwrap_or_default().to_string(),
+                    actual: g.unwrap_or_default().to_string(),
+                };
+            }
+        }
+    }
+}
+
+/// Render the `--json` manifest for a set of experiment runs.
+///
+/// Shard wall times come from the testkit bench clock
+/// ([`domino_testkit::bench::Stopwatch`]); everything else in the manifest
+/// is deterministic, so diffs between manifests isolate timing changes.
+pub fn render_manifest(
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+    host_cpus: usize,
+    runs: &[ExperimentRun],
+    wall_ns: u64,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"domino-run\",");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"wall_ms\": {:.1},", wall_ns as f64 / 1e6);
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", run.name);
+        let _ = writeln!(out, "      \"output\": \"{}\",", run.output);
+        let _ = writeln!(out, "      \"bytes\": {},", run.text.len());
+        let _ = writeln!(out, "      \"wall_ms\": {:.1},", run.elapsed_ns as f64 / 1e6);
+        let shards: Vec<String> =
+            run.shard_ns.iter().map(|ns| format!("{:.1}", *ns as f64 / 1e6)).collect();
+        let _ = writeln!(out, "      \"shard_ms\": [{}]", shards.join(", "));
+        let _ = writeln!(out, "    }}{}", if i + 1 == runs.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_run(text: &str) -> ExperimentRun {
+        ExperimentRun {
+            name: "dummy",
+            output: "dummy.txt",
+            text: text.to_string(),
+            shard_ns: vec![1_000_000, 2_000_000],
+            elapsed_ns: 3_000_000,
+        }
+    }
+
+    #[test]
+    fn check_reports_first_differing_line() {
+        let dir = std::env::temp_dir().join("domino-runner-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("dummy.txt"), "a\nb\nc\n").unwrap();
+        assert_eq!(check_against(&dir, &dummy_run("a\nb\nc\n")), CheckStatus::Match);
+        assert_eq!(
+            check_against(&dir, &dummy_run("a\nX\nc\n")),
+            CheckStatus::Differs {
+                line: 2,
+                expected: "b".to_string(),
+                actual: "X".to_string()
+            }
+        );
+        // Same lines, different trailing bytes: still flagged (byte-exact).
+        assert!(matches!(
+            check_against(&dir, &dummy_run("a\nb\nc")),
+            CheckStatus::Differs { .. }
+        ));
+        assert_eq!(
+            check_against(&dir, &dummy_run("a\nb\nc\nd\n")),
+            CheckStatus::Differs {
+                line: 4,
+                expected: String::new(),
+                actual: "d".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn manifest_shape() {
+        let m = render_manifest(Scale::Quick, 1, 4, 8, &[dummy_run("hi\n")], 5_000_000);
+        assert!(m.contains("\"scale\": \"quick\""));
+        assert!(m.contains("\"jobs\": 4"));
+        assert!(m.contains("\"name\": \"dummy\""));
+        assert!(m.contains("\"shard_ms\": [1.0, 2.0]"));
+    }
+}

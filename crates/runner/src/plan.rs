@@ -1,0 +1,91 @@
+//! The shard plan of one experiment: tasks plus an index-ordered merge.
+
+use crate::pool::Task;
+use std::any::Any;
+
+/// Type-erased shard result, so the registry can hold heterogeneous
+/// experiments behind one function-pointer type.
+pub(crate) type ShardData = Box<dyn Any + Send>;
+
+/// The merge half of a plan: shard results in index order → output text.
+pub(crate) type Finish = Box<dyn FnOnce(Vec<ShardData>) -> String + Send>;
+
+/// An experiment instantiated at a concrete scale and seed: a list of
+/// independent shards and a merge that renders their results — consumed
+/// strictly in shard-index order — into the experiment's output text.
+pub struct Plan {
+    shards: Vec<Task<ShardData>>,
+    finish: Finish,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl Plan {
+    /// Build a plan from typed shards and a typed merge. The type erasure
+    /// stays inside this constructor: `finish` receives shard values in
+    /// shard-index order, whatever order the pool completed them in.
+    pub fn new<T: Send + 'static>(
+        shards: Vec<Box<dyn FnOnce() -> T + Send>>,
+        finish: impl FnOnce(Vec<T>) -> String + Send + 'static,
+    ) -> Plan {
+        Plan {
+            shards: shards
+                .into_iter()
+                .map(|shard| -> Task<ShardData> { Box::new(move || Box::new(shard()) as ShardData) })
+                .collect(),
+            finish: Box::new(move |data| {
+                let typed: Vec<T> = data
+                    .into_iter()
+                    .map(|d| *d.downcast::<T>().expect("shard returned the plan's own type"))
+                    .collect();
+                finish(typed)
+            }),
+        }
+    }
+
+    /// A one-shard plan whose only shard renders the whole output.
+    pub fn single(render: impl FnOnce() -> String + Send + 'static) -> Plan {
+        Plan::new(
+            vec![Box::new(render) as Box<dyn FnOnce() -> String + Send>],
+            |mut parts: Vec<String>| parts.pop().unwrap_or_default(),
+        )
+    }
+
+    /// Number of shards in this plan.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Task<ShardData>>, Finish) {
+        (self.shards, self.finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip_in_index_order() {
+        let shards: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            (0..5u32).map(|i| -> Box<dyn FnOnce() -> u32 + Send> { Box::new(move || i * 10) }).collect();
+        let plan = Plan::new(shards, |values: Vec<u32>| format!("{values:?}"));
+        assert_eq!(plan.num_shards(), 5);
+        let (tasks, finish) = plan.into_parts();
+        let data: Vec<ShardData> = tasks.into_iter().map(|t| t()).collect();
+        assert_eq!(finish(data), "[0, 10, 20, 30, 40]");
+    }
+
+    #[test]
+    fn single_shard_plan() {
+        let plan = Plan::single(|| "hello\n".to_string());
+        assert_eq!(plan.num_shards(), 1);
+        let (tasks, finish) = plan.into_parts();
+        let data: Vec<ShardData> = tasks.into_iter().map(|t| t()).collect();
+        assert_eq!(finish(data), "hello\n");
+    }
+}

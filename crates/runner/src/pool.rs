@@ -1,0 +1,160 @@
+//! An in-tree work pool: `std::thread::scope` workers over a shared queue.
+//!
+//! The build stays hermetic (no rayon/crossbeam); plain threads and an
+//! `mpsc` channel are enough because shards are coarse (milliseconds to
+//! seconds each). Results come back tagged with their submission index and
+//! [`run_indexed`] returns them **in submission order**, which is what
+//! makes the runner's merged output independent of completion order.
+//!
+//! A panicking shard does not poison the pool: every task runs under
+//! `catch_unwind`, remaining tasks still execute, and the first panic (by
+//! shard index, for determinism) is resumed on the caller's thread after
+//! all workers have drained.
+
+use domino_testkit::bench::Stopwatch;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A unit of work: runs once, on some worker, returning its shard data.
+pub type Task<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// One completed task: its value plus the wall time it took (measured
+/// through the testkit bench clock — rule D001 keeps `Instant` out of
+/// this crate).
+#[derive(Debug)]
+pub struct ShardRun<T> {
+    /// The task's return value.
+    pub value: T,
+    /// Wall time of the task body in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// The default worker count: every hardware thread the host exposes.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Execute `tasks` across up to `jobs` worker threads; results are
+/// returned in submission order regardless of completion order.
+pub fn run_indexed<T: Send>(jobs: usize, tasks: Vec<Task<T>>) -> Vec<ShardRun<T>> {
+    let n = tasks.len();
+    let workers = jobs.clamp(1, n.max(1));
+    if workers <= 1 {
+        return tasks
+            .into_iter()
+            .map(|task| {
+                let watch = Stopwatch::start();
+                let value = task();
+                ShardRun { value, elapsed_ns: watch.elapsed_ns() }
+            })
+            .collect();
+    }
+
+    type Outcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+    let queue: Mutex<VecDeque<(usize, Task<T>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, u64, Outcome<T>)>();
+
+    let mut slots: Vec<Option<(u64, Outcome<T>)>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                // A poisoned lock means another worker panicked *outside*
+                // catch_unwind, which cannot happen for task bodies; treat
+                // it as queue-empty and wind down.
+                let job = match queue.lock() {
+                    Ok(mut q) => q.pop_front(),
+                    Err(_) => None,
+                };
+                let Some((index, task)) = job else { break };
+                let watch = Stopwatch::start();
+                let outcome = panic::catch_unwind(AssertUnwindSafe(task));
+                // The receiver outlives the scope; a send failure would
+                // mean the caller vanished, which scoped threads preclude.
+                let _ = tx.send((index, watch.elapsed_ns(), outcome));
+            });
+        }
+        drop(tx);
+        for (index, elapsed_ns, outcome) in rx.iter() {
+            slots[index] = Some((elapsed_ns, outcome));
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for (index, slot) in slots.into_iter().enumerate() {
+        let Some((elapsed_ns, outcome)) = slot else {
+            unreachable!("shard {index} produced no result");
+        };
+        match outcome {
+            Ok(value) => out.push(ShardRun { value, elapsed_ns }),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks_squaring(n: usize) -> Vec<Task<usize>> {
+        (0..n)
+            .map(|i| -> Task<usize> {
+                Box::new(move || {
+                    // Uneven busy work so completion order scrambles.
+                    let spin = (n - i) * 2000;
+                    let mut acc = 0u64;
+                    for k in 0..spin as u64 {
+                        acc = acc.wrapping_add(k * k);
+                    }
+                    std::hint::black_box(acc);
+                    i * i
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preserves_submission_order_across_job_counts() {
+        let expected: Vec<usize> = (0..40).map(|i| i * i).collect();
+        for jobs in [1, 2, 8, 64] {
+            let got: Vec<usize> =
+                run_indexed(jobs, tasks_squaring(40)).into_iter().map(|r| r.value).collect();
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(run_indexed::<u8>(4, Vec::new()).is_empty());
+        let one = run_indexed(4, vec![Box::new(|| 7u8) as Task<u8>]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].value, 7);
+    }
+
+    #[test]
+    fn first_panic_by_index_is_resumed_after_drain() {
+        let tasks: Vec<Task<u32>> = (0..8)
+            .map(|i| -> Task<u32> {
+                Box::new(move || {
+                    if i == 3 || i == 5 {
+                        panic!("shard {i} failed");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| run_indexed(4, tasks)))
+            .expect_err("pool must propagate the shard panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(msg, "shard 3 failed");
+    }
+}

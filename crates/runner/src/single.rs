@@ -1,0 +1,85 @@
+//! Entry point shared by the thin per-experiment binaries in
+//! `crates/bench/src/bin/`. Each binary is ~10 lines: it forwards its
+//! argv here and prints whatever comes back, preserving the flag surface
+//! of the retired ad-hoc harness (`--full`, `--seed`) plus `--jobs`.
+
+use crate::registry;
+use crate::scale::Scale;
+
+/// Usage text for the per-experiment binaries (printed to stderr on
+/// `--help`, exit 0).
+pub const USAGE: &str = "flags: --full (paper scale), --seed <n>, --jobs <n>";
+
+/// What a thin binary should do with the parse/run result.
+#[derive(Debug)]
+pub enum SingleOutcome {
+    /// Rendered experiment text — write to stdout verbatim, exit 0.
+    Text(String),
+    /// `--help` was requested — write [`USAGE`] to stderr, exit 0.
+    Help,
+}
+
+/// Parse a thin binary's argv (without the program name) and run its
+/// experiment. An `Err` is a diagnostic for stderr; the binary should
+/// exit 2.
+pub fn run_single(
+    name: &str,
+    argv: impl IntoIterator<Item = String>,
+) -> Result<SingleOutcome, String> {
+    let Some(exp) = registry::find(name) else {
+        return Err(format!("experiment {name} is not registered"));
+    };
+    let mut scale = Scale::Quick;
+    let mut seed = registry::DEFAULT_SEED;
+    let mut jobs = crate::pool::default_jobs();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--seed needs an integer".to_string())?;
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--jobs needs a positive integer".to_string())?;
+            }
+            "--help" | "-h" => return Ok(SingleOutcome::Help),
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    let run = crate::run_experiment(exp, scale, seed, jobs);
+    Ok(SingleOutcome::Text(run.text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(matches!(run_single("table1_params", args(&["--help"])), Ok(SingleOutcome::Help)));
+        assert!(run_single("table1_params", args(&["--bogus"])).is_err());
+        assert!(run_single("table1_params", args(&["--seed"])).is_err());
+        assert!(run_single("table1_params", args(&["--jobs", "0"])).is_err());
+        assert!(run_single("not_an_experiment", args(&[])).is_err());
+    }
+
+    #[test]
+    fn runs_a_cheap_experiment() {
+        let Ok(SingleOutcome::Text(text)) = run_single("table1_params", args(&[])) else {
+            panic!("expected rendered text");
+        };
+        assert!(text.contains("Table 1"));
+        assert!(text.ends_with('\n'));
+    }
+}

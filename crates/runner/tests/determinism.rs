@@ -1,0 +1,41 @@
+//! Integration pins for the runner's central promise: the rendered bytes
+//! are a pure function of `(experiment, scale, seed)` — the worker count
+//! and shard completion order never show through.
+
+use domino_runner::registry;
+use domino_runner::run_experiment;
+use domino_runner::scale::Scale;
+
+/// A cheap-but-representative slice of the registry: a constant table, a
+/// stochastic render, a multi-shard sweep, the per-shard-seeded detection
+/// matrix, and a single-shard timeline.
+const MATRIX: &[&str] = &[
+    "table1_params",
+    "fig05_rop_samples",
+    "fig06_guard_sweep",
+    "fig09_signature_detection",
+    "fig10_timeline",
+];
+
+#[test]
+fn jobs_count_never_changes_a_byte() {
+    for name in MATRIX {
+        let exp = registry::find(name).expect("matrix names a registered experiment");
+        let serial = run_experiment(exp, Scale::Quick, registry::DEFAULT_SEED, 1);
+        let parallel = run_experiment(exp, Scale::Quick, registry::DEFAULT_SEED, 8);
+        assert_eq!(serial.text, parallel.text, "{name}: jobs=1 vs jobs=8");
+        assert!(!serial.text.is_empty(), "{name}: rendered something");
+        assert!(serial.text.ends_with('\n'), "{name}: text ends in newline");
+        assert_eq!(serial.shard_ns.len(), parallel.shard_ns.len(), "{name}: shard count");
+    }
+}
+
+#[test]
+fn runs_are_reproducible_and_seed_sensitive() {
+    let exp = registry::find("fig06_guard_sweep").expect("registered");
+    let a = run_experiment(exp, Scale::Quick, 7, 4);
+    let b = run_experiment(exp, Scale::Quick, 7, 4);
+    assert_eq!(a.text, b.text, "same seed, same bytes");
+    let c = run_experiment(exp, Scale::Quick, 8, 4);
+    assert_ne!(a.text, c.text, "a different master seed must change the sweep");
+}

@@ -28,6 +28,37 @@ pub fn black_box<T>(value: T) -> T {
     std_black_box(value)
 }
 
+/// A monotonic stopwatch — the wall-clock handle exported to the rest of
+/// the workspace.
+///
+/// Lint rule D001 confines `std::time` to `testkit` and `bench`: simulated
+/// time flows through `sim::time`, and nothing in the model may observe the
+/// host clock. Subsystems that legitimately *measure* wall time anyway —
+/// `domino-runner` timing its shards for the `--json` manifest — go through
+/// this handle instead of `Instant`, so the confinement stays auditable in
+/// one place.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`start`](Stopwatch::start), saturating.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Milliseconds elapsed since [`start`](Stopwatch::start).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e6
+    }
+}
+
 /// Summary statistics for one benchmarked function (per-iteration times).
 #[derive(Clone, Debug)]
 pub struct BenchResult {
@@ -286,6 +317,16 @@ mod tests {
         let text = std::fs::read_to_string(dir.join("jsoncheck.json")).unwrap();
         assert!(text.contains("\"group\": \"jsoncheck\""));
         assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_ns();
+        let _ = (0..10_000u64).sum::<u64>();
+        let b = w.elapsed_ns();
+        assert!(b >= a);
+        assert!((w.elapsed_ms() - w.elapsed_ns() as f64 / 1e6).abs() < 1.0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus hermeticity checks.
+# Tier-1 verification, hermeticity checks, and the experiment golden gate.
 #
 # The workspace must build and test with ZERO network access: every
 # dependency is an in-workspace path crate (see crates/testkit for the
@@ -10,15 +10,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build =="
-cargo build --release --offline
+echo "== tier-1: build (whole workspace, all targets, no network) =="
+cargo build --release --offline --workspace --benches
 
 echo "== tier-1: test =="
-cargo test -q --offline
-
-echo "== hermeticity: whole workspace (all targets, no network) =="
-cargo build --release --offline --workspace --benches
 cargo test -q --offline --workspace
+
+echo "== golden gate: domino-run --check =="
+# Regenerates every experiment at quick scale across 2 workers and
+# byte-diffs against the committed results/ files. Output must be
+# identical for any --jobs count, so jobs=2 also exercises the pool's
+# index-ordered merge.
+./target/release/domino-run --check --jobs 2
 
 echo "== lint: domino-lint (determinism & correctness rules) =="
 # Unwaived violations (or reasonless waivers) exit non-zero and fail CI.
