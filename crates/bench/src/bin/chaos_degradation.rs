@@ -1,0 +1,25 @@
+//! Chaos — degradation under injected faults vs intensity.
+//!
+//! Thin wrapper: the experiment logic (sharding, seeding, rendering)
+//! lives in `domino_runner::experiments::chaos_degradation`; this binary only
+//! parses flags and prints. Prefer `domino-run chaos_degradation`.
+
+use domino_runner::single::{run_single, SingleOutcome, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run_single("chaos_degradation", std::env::args().skip(1)) {
+        Ok(SingleOutcome::Text(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(SingleOutcome::Help) => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

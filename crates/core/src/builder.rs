@@ -14,6 +14,7 @@
 //! ```
 
 use crate::report::RunReport;
+use domino_faults::FaultConfig;
 use domino_mac::centaur::{CentaurConfig, CentaurSim};
 use domino_mac::domino::{DominoConfig, DominoSim};
 use domino_mac::omniscient::OmniscientSim;
@@ -57,6 +58,7 @@ pub struct SimulationBuilder {
     seed: u64,
     domino: DominoConfig,
     centaur: CentaurConfig,
+    faults: FaultConfig,
 }
 
 impl SimulationBuilder {
@@ -69,6 +71,7 @@ impl SimulationBuilder {
             seed: 1,
             domino: DominoConfig::default(),
             centaur: CentaurConfig::default(),
+            faults: FaultConfig::off(),
         }
     }
 
@@ -131,6 +134,13 @@ impl SimulationBuilder {
         self
     }
 
+    /// Inject faults from a [`FaultConfig`]. The default is all off,
+    /// which is byte-identical to a build without the fault plane.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
+        self
+    }
+
     /// The network under simulation.
     pub fn network_ref(&self) -> &Network {
         &self.network
@@ -143,24 +153,36 @@ impl SimulationBuilder {
             .clone()
             .expect("no workload configured: call udp()/tcp()/workload() first");
         let stats = match scheme {
-            Scheme::Dcf => DcfSim::run(&self.network, &workload, self.duration_s, self.seed),
-            Scheme::Centaur => CentaurSim::run_with(
+            Scheme::Dcf => DcfSim::run_faulted(
+                &self.network,
+                &workload,
+                self.duration_s,
+                self.seed,
+                &self.faults,
+            ),
+            Scheme::Centaur => CentaurSim::run_faulted(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 self.centaur.clone(),
+                &self.faults,
             ),
-            Scheme::Domino => DominoSim::run_with(
+            Scheme::Domino => DominoSim::run_faulted(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 self.domino.clone(),
+                &self.faults,
             ),
-            Scheme::Omniscient => {
-                OmniscientSim::run(&self.network, &workload, self.duration_s, self.seed)
-            }
+            Scheme::Omniscient => OmniscientSim::run_faulted(
+                &self.network,
+                &workload,
+                self.duration_s,
+                self.seed,
+                &self.faults,
+            ),
         };
         RunReport::new(scheme, workload.flow_links(), stats)
     }
@@ -212,5 +234,38 @@ mod tests {
     fn scheme_labels() {
         assert_eq!(Scheme::Domino.label(), "DOMINO");
         assert_eq!(Scheme::ALL.len(), 4);
+    }
+
+    #[test]
+    fn all_off_fault_plane_is_byte_identical() {
+        let net = scenarios::fig1();
+        let b = SimulationBuilder::new(net).udp(3e6, 1e6).duration_s(0.3).seed(11);
+        for scheme in Scheme::ALL {
+            let plain = b.clone().run(scheme);
+            let off = b.clone().faults(FaultConfig::off()).run(scheme);
+            assert_eq!(plain.stats.delivered_bits, off.stats.delivered_bits, "{scheme:?}");
+            assert_eq!(plain.stats.events, off.stats.events, "{scheme:?}");
+            assert_eq!(off.stats.faults, Default::default(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_injects_and_every_scheme_survives() {
+        let net = scenarios::fig1();
+        let b = SimulationBuilder::new(net)
+            .udp(3e6, 1e6)
+            .duration_s(0.4)
+            .seed(13)
+            .faults(FaultConfig::chaos(0.8));
+        for scheme in Scheme::ALL {
+            let report = b.clone().run(scheme);
+            assert_eq!(report.stats.faults.livelocks, 0, "{scheme:?} livelocked");
+            assert!(
+                report.stats.faults.injections() > 0,
+                "{scheme:?} saw no injections: {:?}",
+                report.stats.faults
+            );
+            assert!(report.aggregate_mbps() > 0.0, "{scheme:?} collapsed");
+        }
     }
 }

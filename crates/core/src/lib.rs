@@ -39,6 +39,8 @@ pub use builder::{Scheme, SimulationBuilder};
 pub use report::RunReport;
 
 // Re-export the substrate crates a downstream user needs.
+pub use domino_faults as faults;
+pub use domino_faults::{FaultConfig, FaultStats};
 pub use domino_mac as mac;
 pub use domino_mac::{RunStats, Workload};
 pub use domino_medium as medium;

@@ -12,10 +12,10 @@
 //! | rule | scope | what it rejects |
 //! |------|-------|-----------------|
 //! | D001 | all but `testkit`, `bench` | `std::time` / `Instant` / `SystemTime` |
-//! | D002 | `scheduler` `mac` `sim` `medium` | iterating a `HashMap`/`HashSet` |
+//! | D002 | `scheduler` `mac` `sim` `medium` `faults` | iterating a `HashMap`/`HashSet` |
 //! | D003 | non-test code | `==`/`!=` against a float literal |
 //! | D004 | everywhere | `rand::`, `thread_rng`, OS entropy |
-//! | D005 | lib code of `phy` `scheduler` `mac` `sim` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | D005 | lib code of `phy` `scheduler` `mac` `sim` `faults` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
 //! | D006 | library code | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` |
 //!
 //! The engine is token-level by design (no full parse, zero deps), so each
@@ -78,10 +78,10 @@ impl RuleId {
     pub fn describe(self) -> &'static str {
         match self {
             RuleId::D001 => "wall-clock time outside testkit/bench: sim time flows through sim::time",
-            RuleId::D002 => "HashMap/HashSet iteration in scheduler/mac/sim/medium: order feeds scheduling",
+            RuleId::D002 => "HashMap/HashSet iteration in scheduler/mac/sim/medium/faults: order feeds scheduling",
             RuleId::D003 => "float == / != : exact float comparison is representation-dependent",
             RuleId::D004 => "ambient randomness: all RNG goes through SimRng with explicit (seed, stream)",
-            RuleId::D005 => "unwrap/expect/panic!/unreachable!/todo! in phy/scheduler/mac/sim library code",
+            RuleId::D005 => "unwrap/expect/panic!/unreachable!/todo! in phy/scheduler/mac/sim/faults library code",
             RuleId::D006 => "println!/eprintln!/dbg! in library code: diagnostics flow through stats",
             RuleId::W000 => "waiver without a reason: `// lint: allow(Dxxx) <why>` requires the why",
         }
@@ -134,9 +134,9 @@ pub struct Finding {
 /// Crates whose purpose is wall-clock measurement or driving binaries.
 const WALL_CLOCK_CRATES: &[&str] = &["testkit", "bench", "lint"];
 /// Crates whose state feeds scheduling decisions (D002 scope).
-const ORDERED_CRATES: &[&str] = &["scheduler", "mac", "sim", "medium"];
+const ORDERED_CRATES: &[&str] = &["scheduler", "mac", "sim", "medium", "faults"];
 /// Crates whose library code must not panic (D005 scope).
-const NO_PANIC_CRATES: &[&str] = &["phy", "scheduler", "mac", "sim"];
+const NO_PANIC_CRATES: &[&str] = &["phy", "scheduler", "mac", "sim", "faults"];
 
 /// Hash-container methods that expose unordered iteration.
 const ITERATION_METHODS: &[&str] = &[

@@ -178,6 +178,36 @@ fn d006_splits_runner_library_from_its_cli() {
     assert!(rules_at("crates/runner/src/bin/domino_run.rs", src).is_empty());
 }
 
+// ------------------------------------------------- faults scope (D001–D006)
+
+#[test]
+fn fault_plane_crate_is_in_scope_for_every_rule() {
+    // The fault plane perturbs scheduling decisions by design, so it is
+    // held to the same determinism bar as the crates it perturbs: no wall
+    // clock, no hash-order iteration, no ambient randomness, no panicking
+    // calls in library code.
+    const FAULTS: &str = "crates/faults/src/lib.rs";
+    let wall = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules_at(FAULTS, wall), vec![RuleId::D001]);
+    let hash_iter = "use std::collections::HashMap;\n\
+                     fn f(m: HashMap<u32, u32>) { for x in m.values() { let _ = x; } }";
+    assert_eq!(rules_at(FAULTS, hash_iter), vec![RuleId::D002]);
+    let float_eq = "fn f(p: f64) -> bool { p == 0.5 }";
+    assert_eq!(rules_at(FAULTS, float_eq), vec![RuleId::D003]);
+    let ambient = "fn f() { let x = rand::thread_rng(); let _ = x; }";
+    assert_eq!(rules_at(FAULTS, ambient), vec![RuleId::D004]);
+    let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert_eq!(rules_at(FAULTS, unwrap), vec![RuleId::D005]);
+    let print = "fn f() { println!(\"injected\"); }";
+    assert_eq!(rules_at(FAULTS, print), vec![RuleId::D006]);
+}
+
+#[test]
+fn fault_plane_tests_keep_the_usual_exemptions() {
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(rules_at("crates/faults/src/lib.rs", in_test).is_empty());
+}
+
 // ---------------------------------------------------------------- waivers
 
 #[test]

@@ -20,9 +20,11 @@
 use crate::dcf::{sync_rto, CsmaCore, Ev};
 use crate::flows::{FlowEngine, TCP_TICK};
 use crate::timing::{ack_timeout, data_airtime, DIFS, MAC_OVERHEAD_BYTES, RETRY_LIMIT};
-use crate::workload::{RunStats, Workload};
+use crate::workload::{client_indices, RunStats, Workload};
+use domino_faults::{FaultConfig, FaultPlane};
 use domino_medium::{Frame, FrameBody, Medium, Reception};
 use domino_scheduler::RandScheduler;
+use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
 use domino_topology::{ConflictGraph, Direction, LinkId, Network, NodeId};
 use domino_traffic::Packet;
@@ -86,7 +88,18 @@ pub enum CentaurEv {
     },
     /// Idle controller re-checks the queues.
     ControllerCheck,
+    /// Fault-plane fallback: the batch barrier has waited too long — a
+    /// lost epoch assignment or completion report would otherwise hang
+    /// the controller forever. Scheduled only when faults are enabled.
+    EpochTimeout {
+        /// The epoch this timeout guards.
+        epoch: u64,
+    },
 }
+
+/// How long the controller waits on the batch barrier before abandoning
+/// an epoch (fault-plane recovery; never scheduled in fault-free runs).
+const EPOCH_TIMEOUT: SimDuration = SimDuration::from_millis(15);
 
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum ApPhase {
@@ -145,10 +158,36 @@ impl CentaurSim {
         seed: u64,
         cfg: CentaurConfig,
     ) -> RunStats {
+        Self::run_faulted(net, workload, duration_s, seed, cfg, &FaultConfig::off())
+    }
+
+    /// [`CentaurSim::run_with`] under a fault plane: backbone loss/spikes
+    /// on the epoch wire, AP crashes at epoch delivery, controller compute
+    /// stalls, and the medium-resident churn class. Lost epoch or Done
+    /// messages are recovered by a fallback [`EPOCH_TIMEOUT`] on the batch
+    /// barrier (scheduled only when faults are enabled, so fault-free runs
+    /// stay byte-identical).
+    pub fn run_faulted(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        cfg: CentaurConfig,
+        faults: &FaultConfig,
+    ) -> RunStats {
         let mut engine: Engine<Ev<CentaurEv>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
+        let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
+        let faults_on = plane.cfg.enabled();
+        let mut node_faults = plane.node;
+        if faults_on {
+            medium.set_faults(plane.medium);
+        }
+        engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let mut backbone = Backbone::new(cfg.wired.clone(), seed);
+        backbone.set_loss(faults.wired_loss);
+        backbone.set_spikes(faults.wired_spike, faults.wired_spike_us);
         let graph = ConflictGraph::build_for_scheduling(net);
         let mut sched = RandScheduler::new(net.links().len());
         let mut rto_gen: Vec<u64> = vec![0; workload.flows.len()];
@@ -181,6 +220,11 @@ impl CentaurSim {
         }
         let mut epoch_counter: u64 = 0;
         let mut pending_done: usize = 0;
+        // Crash bookkeeping: a dark AP ignores epoch traffic until its
+        // downtime elapses; the first epoch it accepts afterwards counts
+        // as the recovery.
+        let mut ap_dark_until: Vec<SimTime> = vec![SimTime::ZERO; net.num_nodes()];
+        let mut ap_crashed: Vec<bool> = vec![false; net.num_nodes()];
         // NAV window of a data frame: SIFS + ACK. An AP that hears a data
         // frame end (but maybe not the ACK) and an AP that hears the ACK
         // end must compute the same aligned fire time.
@@ -196,7 +240,15 @@ impl CentaurSim {
         engine.schedule_at(SimTime::ZERO, Ev::Scheme(CentaurEv::ControllerCheck));
 
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(duration_s);
-        while let Some((now, ev)) = engine.pop_until(horizon) {
+        loop {
+            let (now, ev) = match engine.pop_until_checked(horizon) {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(_livelock) => {
+                    fe.stats.faults.livelocks += 1;
+                    break;
+                }
+            };
             match ev {
                 Ev::UdpArrival { flow } => {
                     let _ = fe.udp_arrive(flow);
@@ -253,9 +305,13 @@ impl CentaurSim {
                                         now + ack_timeout(rate),
                                         Ev::Scheme(CentaurEv::ApAckTimeout { ap: src.0, gen }),
                                     );
-                                } else {
+                                } else if ap_states[src.index()].is_none() {
                                     csma.after_data_tx(src.index(), now, &mut engine);
                                 }
+                                // An AP whose state was torn down mid-air
+                                // (fault-plane crash) gets neither path:
+                                // its frame still delivers, nobody waits
+                                // for the ACK.
                                 CsmaCore::handle_data_receptions(
                                     &receptions, now, &mut engine, &medium, &mut fe,
                                 );
@@ -281,20 +337,54 @@ impl CentaurSim {
                     csma.try_start_all(now, &mut engine, &medium, &fe);
                 }
                 Ev::Scheme(CentaurEv::EpochArrive { ap, epoch, assignments }) => {
+                    let apx = ap as usize;
+                    if now < ap_dark_until[apx] {
+                        // The AP is crashed: the assignment dies with it;
+                        // the epoch timeout will release the barrier.
+                        continue;
+                    }
+                    if let Some(downtime) = node_faults.crash() {
+                        // Crash with state loss: forget everything, go
+                        // dark for the downtime.
+                        // lint: allow(D005) controller addresses epochs to APs only; a miss is a wiring bug worth a crash
+                        let st = ap_states[apx].as_mut().expect("epoch for non-AP");
+                        st.assignments.clear();
+                        st.current = None;
+                        st.current_link = None;
+                        st.retries = 0;
+                        st.phase = ApPhase::Idle;
+                        st.invalidate();
+                        ap_dark_until[apx] = now + downtime;
+                        ap_crashed[apx] = true;
+                        continue;
+                    }
+                    if ap_crashed[apx] {
+                        ap_crashed[apx] = false;
+                        node_faults.recovered();
+                    }
                     // lint: allow(D005) controller addresses epochs to APs only; a miss is a wiring bug worth a crash
-                    let st = ap_states[ap as usize].as_mut().expect("epoch for non-AP");
+                    let st = ap_states[apx].as_mut().expect("epoch for non-AP");
                     st.assignments = assignments.into();
                     st.epoch = epoch;
-                    if st.assignments.is_empty() {
-                        // Nothing to do: report done immediately.
-                        let m = backbone.send(now, ());
-                        engine.schedule_at(
-                            m.deliver_at,
-                            Ev::Scheme(CentaurEv::DoneArrive { ap, epoch }),
-                        );
-                    } else {
-                        st.phase = ApPhase::WaitIdle;
-                        arm_if_idle(st, ap as usize, now, &mut engine, &medium, fixed);
+                    match st.phase {
+                        // Mid-flight (only reachable when the epoch
+                        // timeout released the barrier early): keep the
+                        // current exchange; the completion path advances
+                        // into the new assignments.
+                        ApPhase::Transmitting | ApPhase::AwaitAck => {}
+                        _ if st.assignments.is_empty() => {
+                            // Nothing to do: report done immediately.
+                            if let Some(m) = backbone.try_send(now, ()) {
+                                engine.schedule_at(
+                                    m.deliver_at,
+                                    Ev::Scheme(CentaurEv::DoneArrive { ap, epoch }),
+                                );
+                            }
+                        }
+                        _ => {
+                            st.phase = ApPhase::WaitIdle;
+                            arm_if_idle(st, ap as usize, now, &mut engine, &medium, fixed);
+                        }
                     }
                 }
                 Ev::Scheme(CentaurEv::ApArm { ap, gen }) => {
@@ -370,6 +460,9 @@ impl CentaurSim {
                     };
                     epoch_counter += 1;
                     pending_done = aps.len();
+                    // A stalled controller computes the round late; every
+                    // assignment ships after the stall.
+                    let stall = node_faults.compute_stall().unwrap_or(SimDuration::ZERO);
                     // Each scheduled link gets a quota of up to
                     // `packets_per_round` back-to-back packets; the next
                     // round is released only when every AP reports done
@@ -385,15 +478,30 @@ impl CentaurSim {
                                 std::iter::repeat_n(l, quota)
                             })
                             .collect();
-                        let m = backbone.send(now, ());
+                        if let Some(m) = backbone.try_send(now, ()) {
+                            engine.schedule_at(
+                                m.deliver_at + stall,
+                                Ev::Scheme(CentaurEv::EpochArrive {
+                                    ap: ap.0,
+                                    epoch: epoch_counter,
+                                    assignments,
+                                }),
+                            );
+                        }
+                    }
+                    if faults_on {
+                        // Fallback: a lost assignment or Done would hang
+                        // the barrier forever without this.
                         engine.schedule_at(
-                            m.deliver_at,
-                            Ev::Scheme(CentaurEv::EpochArrive {
-                                ap: ap.0,
-                                epoch: epoch_counter,
-                                assignments,
-                            }),
+                            now + stall + EPOCH_TIMEOUT,
+                            Ev::Scheme(CentaurEv::EpochTimeout { epoch: epoch_counter }),
                         );
+                    }
+                }
+                Ev::Scheme(CentaurEv::EpochTimeout { epoch }) => {
+                    if epoch == epoch_counter && pending_done > 0 {
+                        pending_done = 0;
+                        engine.schedule_now(Ev::Scheme(CentaurEv::ControllerCheck));
                     }
                 }
             }
@@ -401,6 +509,11 @@ impl CentaurSim {
 
         fe.stats.events = engine.events_processed();
         fe.stats.tcp_retransmissions = fe.tcp_retransmissions();
+        fe.stats.faults.merge_node(&node_faults);
+        fe.stats.faults.merge_backbone(backbone.messages_lost(), backbone.spikes_injected());
+        if let Some(mf) = medium.faults() {
+            fe.stats.faults.merge_medium(mf);
+        }
         fe.stats
     }
 }
@@ -512,11 +625,12 @@ fn ap_arm_fired(
         }
         let Some(packet) = st.current else {
             st.phase = ApPhase::Idle;
-            let m = backbone.send(now, ());
-            engine.schedule_at(
-                m.deliver_at,
-                Ev::Scheme(CentaurEv::DoneArrive { ap: ap as u32, epoch: st.epoch }),
-            );
+            if let Some(m) = backbone.try_send(now, ()) {
+                engine.schedule_at(
+                    m.deliver_at,
+                    Ev::Scheme(CentaurEv::DoneArrive { ap: ap as u32, epoch: st.epoch }),
+                );
+            }
             return;
         };
         st.phase = ApPhase::Transmitting;
@@ -587,11 +701,12 @@ fn advance_ap(
     let st = ap_states[ap].as_mut().unwrap();
     if st.current.is_none() && st.assignments.is_empty() {
         st.phase = ApPhase::Idle;
-        let m = backbone.send(now, ());
-        engine.schedule_at(
-            m.deliver_at,
-            Ev::Scheme(CentaurEv::DoneArrive { ap: ap as u32, epoch: st.epoch }),
-        );
+        if let Some(m) = backbone.try_send(now, ()) {
+            engine.schedule_at(
+                m.deliver_at,
+                Ev::Scheme(CentaurEv::DoneArrive { ap: ap as u32, epoch: st.epoch }),
+            );
+        }
     } else {
         st.phase = ApPhase::WaitIdle;
         arm_if_idle(st, ap, now, engine, medium, fixed_wait);

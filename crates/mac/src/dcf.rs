@@ -12,9 +12,11 @@
 
 use crate::flows::{FlowEngine, TCP_TICK};
 use crate::timing::{ack_airtime, ack_timeout, data_airtime, CW_MAX, CW_MIN, DIFS, RETRY_LIMIT, SIFS, SLOT_TIME};
-use crate::workload::{RunStats, Workload};
+use crate::workload::{client_indices, RunStats, Workload};
+use domino_faults::{FaultConfig, FaultPlane};
 use domino_medium::{Frame, FrameBody, Medium, Reception, TxId};
 use domino_phy::error_model::DataRate;
+use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::rng::streams;
 use domino_sim::{Engine, SimRng, SimTime};
 use domino_topology::{LinkId, Network, NodeId};
@@ -438,8 +440,26 @@ impl DcfSim {
     /// Run `workload` over `net` for `duration_s` seconds of simulated
     /// time.
     pub fn run(net: &Network, workload: &Workload, duration_s: f64, seed: u64) -> RunStats {
+        DcfSim::run_faulted(net, workload, duration_s, seed, &FaultConfig::off())
+    }
+
+    /// [`DcfSim::run`] under a fault plane. With `faults` all off this is
+    /// byte-identical to the plain run (the plane makes zero draws and the
+    /// medium hook is never installed).
+    pub fn run_faulted(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        faults: &FaultConfig,
+    ) -> RunStats {
         let mut engine: Engine<Ev<()>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
+        let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
+        if plane.cfg.enabled() {
+            medium.set_faults(plane.medium);
+        }
+        engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let contenders: Vec<NodeId> = (0..net.num_nodes() as u32).map(NodeId).collect();
         let mut csma = CsmaCore::new(net, &contenders, seed);
@@ -453,7 +473,15 @@ impl DcfSim {
         }
 
         let horizon = SimTime::ZERO + domino_sim::SimDuration::from_secs_f64(duration_s);
-        while let Some((now, ev)) = engine.pop_until(horizon) {
+        loop {
+            let (now, ev) = match engine.pop_until_checked(horizon) {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(_livelock) => {
+                    fe.stats.faults.livelocks += 1;
+                    break;
+                }
+            };
             match ev {
                 Ev::UdpArrival { flow } => {
                     let _ = fe.udp_arrive(flow);
@@ -513,6 +541,9 @@ impl DcfSim {
 
         fe.stats.events = engine.events_processed();
         fe.stats.tcp_retransmissions = fe.tcp_retransmissions();
+        if let Some(mf) = medium.faults() {
+            fe.stats.faults.merge_medium(mf);
+        }
         fe.stats
     }
 }

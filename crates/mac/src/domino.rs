@@ -29,11 +29,13 @@ use crate::timing::{
     fake_airtime, poll_airtime, rop_slot_duration, slot_geometry, SlotGeometry, ACK_BYTES,
     MAC_OVERHEAD_BYTES, POLL_BYTES, ROP_SYMBOL, SIFS, SLOT_TIME,
 };
-use crate::workload::{DominoCounters, RunStats, Workload};
+use crate::workload::{client_indices, DominoCounters, RunStats, Workload, WATCHDOG_STORM_THRESHOLD};
+use domino_faults::{FaultConfig, FaultPlane, NodeFaults};
 use domino_medium::{Burst, BurstMarker, Frame, FrameBody, Medium, TxId};
 use domino_scheduler::{
     BacklogView, BurstAssignment, Converter, ConverterConfig, RandScheduler, RelativeBatch,
 };
+use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
 use domino_topology::{ConflictGraph, Direction, LinkId, Network, NodeId};
 use domino_traffic::{Packet, PacketKind};
@@ -190,14 +192,47 @@ impl DominoSim {
         seed: u64,
         cfg: DominoConfig,
     ) -> RunStats {
-        let mut world = World::new(net, workload, duration_s, seed, cfg);
+        Self::run_faulted(net, workload, duration_s, seed, cfg, &FaultConfig::off())
+    }
+
+    /// [`DominoSim::run_with`] under a fault plane: backbone loss/spikes
+    /// under the batch programs and ROP relays, AP crashes with state
+    /// loss, controller compute stalls that overrun the batch fallback
+    /// timer, stale ROP reports, plus the medium-resident fade and churn
+    /// classes. With `faults` all off this is byte-identical to the plain
+    /// run.
+    pub fn run_faulted(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        cfg: DominoConfig,
+        faults: &FaultConfig,
+    ) -> RunStats {
+        let mut world = World::new(net, workload, duration_s, seed, cfg, faults);
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(duration_s);
-        while let Some((now, ev)) = world.engine.pop_until(horizon) {
+        loop {
+            let (now, ev) = match world.engine.pop_until_checked(horizon) {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(_livelock) => {
+                    world.fe.stats.faults.livelocks += 1;
+                    break;
+                }
+            };
             world.handle(now, ev);
         }
         world.fe.stats.events = world.engine.events_processed();
         world.fe.stats.tcp_retransmissions = world.fe.tcp_retransmissions();
         world.fe.stats.domino = world.counters;
+        world.fe.stats.faults.merge_node(&world.node_faults);
+        world.fe.stats.faults.merge_backbone(
+            world.backbone.messages_lost(),
+            world.backbone.spikes_injected(),
+        );
+        if let Some(mf) = world.medium.faults() {
+            world.fe.stats.faults.merge_medium(mf);
+        }
         world.fe.stats
     }
 }
@@ -233,6 +268,20 @@ struct World {
     /// report wave is the execution-anchored clock that paces the next
     /// compute.
     post_poll_exec: SimDuration,
+    /// Node-class fault source (AP crashes, compute stalls, stale
+    /// reports). All draws short-circuit when the class is off.
+    node_faults: NodeFaults,
+    /// Until when each crashed AP stays dark (ignores batch programs and
+    /// triggers).
+    ap_dark_until: Vec<SimTime>,
+    /// Crash flag per AP: the first batch accepted after the downtime
+    /// counts as the recovery.
+    ap_crashed: Vec<bool>,
+    /// Per-link last truthful ROP value — what a stale report replays.
+    last_rop: Vec<u32>,
+    /// Consecutive watchdog restarts with zero deliveries in between
+    /// (storm detection, see `DominoCounters::watchdog_storms`).
+    wd_streak: u64,
 }
 
 impl World {
@@ -242,10 +291,20 @@ impl World {
         duration_s: f64,
         seed: u64,
         cfg: DominoConfig,
+        faults: &FaultConfig,
     ) -> World {
         let geo = slot_geometry(net.phy().data_rate, workload.packet_bytes);
         let rop_dur = rop_slot_duration(net.phy().data_rate);
+        let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
+        let mut medium = Medium::new(net.clone(), seed);
+        if plane.cfg.enabled() {
+            medium.set_faults(plane.medium);
+        }
+        let mut backbone = Backbone::new(cfg.wired.clone(), seed);
+        backbone.set_loss(faults.wired_loss);
+        backbone.set_spikes(faults.wired_spike, faults.wired_spike_us);
         let mut engine = Engine::new();
+        engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
         let fe = FlowEngine::new(net, workload, duration_s);
         for flow in fe.udp_flows() {
             engine.schedule_at(fe.udp_next_arrival(flow), DEv::UdpArrival { flow });
@@ -269,9 +328,9 @@ impl World {
         let num_flows = workload.flows.len();
         World {
             engine,
-            medium: Medium::new(net.clone(), seed),
+            medium,
             fe,
-            backbone: Backbone::new(cfg.wired.clone(), seed),
+            backbone,
             graph: ConflictGraph::build(net),
             scheduler: RandScheduler::new(net.links().len()),
             converter: Converter::new(cfg.converter.clone()),
@@ -288,6 +347,11 @@ impl World {
             dispatch_time: SimTime::ZERO,
             exec_estimate: SimDuration::ZERO,
             post_poll_exec: SimDuration::ZERO,
+            node_faults: plane.node,
+            ap_dark_until: vec![SimTime::ZERO; net.num_nodes()],
+            ap_crashed: vec![false; net.num_nodes()],
+            last_rop: vec![0; net.links().len()],
+            wd_streak: 0,
             net: net.clone(),
             cfg,
         }
@@ -377,7 +441,12 @@ impl World {
                 .unwrap_or(0)
         };
         self.post_poll_exec = self.geo.total * after_first_poll as u64;
-        self.dispatch_batch(now, &outcome.batch);
+        // A stalled controller ships the batch late. The fallback timer
+        // below is deliberately NOT extended: overrunning it — the next
+        // compute firing while the late batch is still in flight — is the
+        // injected failure mode.
+        let stall = self.node_faults.compute_stall().unwrap_or(SimDuration::ZERO);
+        self.dispatch_batch(now, &outcome.batch, stall);
 
         // Pacing: the next batch is computed when this batch's first ROP
         // report comes back (proof the batch is executing), with a
@@ -402,8 +471,9 @@ impl World {
             .schedule_in(fallback, DEv::ControllerCompute { gen: self.compute_gen });
     }
 
-    /// Turn a converted batch into per-AP wired messages.
-    fn dispatch_batch(&mut self, now: SimTime, batch: &RelativeBatch) {
+    /// Turn a converted batch into per-AP wired messages, each delayed by
+    /// `stall` (the controller's injected compute stall; zero normally).
+    fn dispatch_batch(&mut self, now: SimTime, batch: &RelativeBatch, stall: SimDuration) {
         let first_slot = self.next_slot_id;
         let retained_slot = first_slot.wrapping_sub(1);
         self.next_slot_id += batch.slots.len() as u64;
@@ -553,14 +623,42 @@ impl World {
                 continue;
             }
             let msg = ApMessage { first_slot, actions, retained_updates };
-            let at = self.backbone.send(now, ()).deliver_at;
-            self.engine.schedule_at(at, DEv::BatchArrive { ap: ap.0, msg });
+            if let Some(m) = self.backbone.try_send(now, ()) {
+                self.engine
+                    .schedule_at(m.deliver_at + stall, DEv::BatchArrive { ap: ap.0, msg });
+            }
+            // A lost program is not re-sent: the controller's fallback
+            // timer paces the next compute regardless, and the AP's
+            // retained entries are shed when the next batch lands.
         }
     }
 
     // --------------------------------------------------------- AP logic
 
     fn on_batch_arrive(&mut self, now: SimTime, ap: usize, msg: ApMessage) {
+        if now < self.ap_dark_until[ap] {
+            return; // crashed AP: the program dies with it
+        }
+        if let Some(downtime) = self.node_faults.crash() {
+            // Crash with state loss: the program, pending starts, and the
+            // unacked frame are gone; generation bumps retire every timer
+            // the old incarnation armed. The AP rejoins lazily — the
+            // first batch delivered after the downtime restarts it.
+            let rt = &mut self.nodes[ap];
+            rt.program.clear();
+            rt.pending_start = false;
+            rt.unacked = None;
+            rt.acked = false;
+            rt.bump();
+            rt.wd_gen += 1;
+            self.ap_dark_until[ap] = now + downtime;
+            self.ap_crashed[ap] = true;
+            return;
+        }
+        if self.ap_crashed[ap] {
+            self.ap_crashed[ap] = false;
+            self.node_faults.recovered();
+        }
         // Apply retained-slot burst updates to still-pending actions.
         for (slot, own, client) in msg.retained_updates {
             if let Some(action) =
@@ -642,6 +740,9 @@ impl World {
     fn on_trigger(&mut self, now: SimTime, node: usize, marker: BurstMarker, slot: u64) {
         if self.medium.is_transmitting(NodeId(node as u32)) {
             return; // a transmitting radio cannot run its correlator
+        }
+        if now < self.ap_dark_until[node] {
+            return; // crashed: the radio is down
         }
         if now < self.nodes[node].busy_until {
             self.counters.stale_triggers += 1;
@@ -925,6 +1026,7 @@ impl World {
                     if !*fake {
                         self.fe.deliver(packet, now);
                         self.sync_all_rto(now);
+                        self.wd_streak = 0; // progress: the storm streak ends
                     }
                     let ap_is_receiver = self.net.node(r.rx).is_ap();
                     // How far into the fixed slot the data phase actually
@@ -1031,9 +1133,12 @@ impl World {
                         .find(|l| l.sender == *client)
                         .map(|l| l.id);
                     if let Some(link) = uplink {
-                        let at = self.backbone.send(now, ()).deliver_at;
-                        self.engine
-                            .schedule_at(at, DEv::ReportArrive { link: link.0, queue: *queue });
+                        if let Some(m) = self.backbone.try_send(now, ()) {
+                            self.engine.schedule_at(
+                                m.deliver_at,
+                                DEv::ReportArrive { link: link.0, queue: *queue },
+                            );
+                        }
                     }
                 }
                 FrameBody::SignatureBurst(b) => {
@@ -1136,8 +1241,16 @@ impl World {
             .find(|l| l.sender == NodeId(client as u32))
             .map(|l| l.id);
         let Some(link) = uplink else { return };
-        let queue =
+        let fresh =
             self.fe.queue(link).rop_report() + u32::from(self.nodes[client].unacked.is_some());
+        // Stale-report fault: the client replays the previous round's
+        // value instead of the live queue state.
+        let queue = if self.node_faults.report_stale() {
+            self.last_rop[link.index()]
+        } else {
+            fresh
+        };
+        self.last_rop[link.index()] = fresh;
         let frame = Frame {
             src: NodeId(client as u32),
             body: FrameBody::RopReport {
@@ -1185,6 +1298,13 @@ impl World {
             }
         }
         self.counters.watchdog_restarts += 1;
+        // Storm detection: restarts with zero deliveries in between mean
+        // the fallback timer, not the trigger chain, is pacing the
+        // schedule. Counting is observation-only (no events, no RNG).
+        self.wd_streak += 1;
+        if self.wd_streak == WATCHDOG_STORM_THRESHOLD {
+            self.counters.watchdog_storms += 1;
+        }
         // Chain broken: restart individually (§3.3's first-batch rule
         // doubles as the self-healing restart).
         self.self_start(now, ap);

@@ -11,9 +11,11 @@
 use crate::dcf::{sync_rto, Ev};
 use crate::flows::{FlowEngine, TCP_TICK};
 use crate::timing::{ack_airtime, data_airtime, SIFS};
-use crate::workload::{RunStats, Workload};
+use crate::workload::{client_indices, RunStats, Workload};
+use domino_faults::{FaultConfig, FaultPlane};
 use domino_medium::{Frame, FrameBody, Medium};
 use domino_scheduler::RandScheduler;
+use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
 use domino_topology::{ConflictGraph, LinkId, Network};
 
@@ -31,8 +33,27 @@ pub struct OmniscientSim;
 impl OmniscientSim {
     /// Run `workload` over `net` for `duration_s` seconds.
     pub fn run(net: &Network, workload: &Workload, duration_s: f64, seed: u64) -> RunStats {
+        OmniscientSim::run_faulted(net, workload, duration_s, seed, &FaultConfig::off())
+    }
+
+    /// [`OmniscientSim::run`] under a fault plane. Only the medium-resident
+    /// classes (churn dark intervals; fades are moot without signature
+    /// bursts) touch this idealized scheme — its control plane is free and
+    /// lossless by definition.
+    pub fn run_faulted(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        faults: &FaultConfig,
+    ) -> RunStats {
         let mut engine: Engine<Ev<OmniEv>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
+        let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
+        if plane.cfg.enabled() {
+            medium.set_faults(plane.medium);
+        }
+        engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let graph = ConflictGraph::build_for_scheduling(net);
         let mut sched = RandScheduler::new(net.links().len());
@@ -51,7 +72,15 @@ impl OmniscientSim {
         engine.schedule_at(SimTime::ZERO, Ev::Scheme(OmniEv::SlotStart));
 
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(duration_s);
-        while let Some((now, ev)) = engine.pop_until(horizon) {
+        loop {
+            let (now, ev) = match engine.pop_until_checked(horizon) {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(_livelock) => {
+                    fe.stats.faults.livelocks += 1;
+                    break;
+                }
+            };
             match ev {
                 Ev::UdpArrival { flow } => {
                     let _ = fe.udp_arrive(flow);
@@ -124,6 +153,9 @@ impl OmniscientSim {
 
         fe.stats.events = engine.events_processed();
         fe.stats.tcp_retransmissions = fe.tcp_retransmissions();
+        if let Some(mf) = medium.faults() {
+            fe.stats.faults.merge_medium(mf);
+        }
         fe.stats
     }
 }

@@ -1,5 +1,6 @@
 //! Workload specification and per-run statistics.
 
+use domino_faults::FaultStats;
 use domino_stats::{jain_index, DelayMeter};
 use domino_topology::{Direction, LinkId, Network};
 use domino_traffic::TcpConfig;
@@ -95,6 +96,16 @@ impl Workload {
     }
 }
 
+/// Node indices of every client in `net` — the nodes the fault plane's
+/// churn class may take dark.
+pub fn client_indices(net: &Network) -> Vec<u32> {
+    net.nodes()
+        .iter()
+        .filter(|n| n.role == domino_topology::NodeRole::Client)
+        .map(|n| n.id.0)
+        .collect()
+}
+
 /// Everything a scheme engine reports after a run.
 #[derive(Clone, Debug)]
 pub struct RunStats {
@@ -120,6 +131,9 @@ pub struct RunStats {
     pub slot_starts: Vec<SlotStartRecord>,
     /// DOMINO only: trigger-chain diagnostics (all zero for other MACs).
     pub domino: DominoCounters,
+    /// Fault-plane injection and recovery counters (all zero when the
+    /// fault plane is off).
+    pub faults: FaultStats,
 }
 
 /// DOMINO trigger-chain diagnostics, accumulated during a run and carried
@@ -147,7 +161,17 @@ pub struct DominoCounters {
     pub actions_shed: u64,
     /// Program entries dispatched to APs over the wire.
     pub actions_dispatched: u64,
+    /// Watchdog-restart storms: runs of more than
+    /// [`WATCHDOG_STORM_THRESHOLD`] consecutive watchdog restarts with
+    /// zero deliveries in between. A storm means the fallback timer, not
+    /// the relative chain, is driving the schedule — the failure mode the
+    /// fault plane is designed to expose.
+    pub watchdog_storms: u64,
 }
+
+/// Consecutive zero-delivery watchdog restarts that count as one storm
+/// (see [`DominoCounters::watchdog_storms`]).
+pub const WATCHDOG_STORM_THRESHOLD: u64 = 8;
 
 /// One DOMINO slot transmission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +200,7 @@ impl RunStats {
             tcp_retransmissions: 0,
             slot_starts: Vec::new(),
             domino: DominoCounters::default(),
+            faults: FaultStats::default(),
         }
     }
 

@@ -11,6 +11,7 @@
 
 use crate::frames::{Frame, FrameBody};
 use crate::signatures::{rop_decode_probability, signature_detection_probability};
+use domino_faults::MediumFaults;
 use domino_phy::units::Dbm;
 use domino_sim::rng::streams;
 use domino_sim::{SimRng, SimTime};
@@ -79,6 +80,10 @@ pub struct Medium {
     /// Peak reporter RSS per in-progress ROP round: (ap, round start ns,
     /// peak dBm).
     rop_peaks: Vec<(NodeId, u64, f64)>,
+    /// Channel/churn fault classes, when the run's fault plane is active.
+    /// `None` (the default) costs nothing and draws nothing, so fault-free
+    /// runs adjudicate byte-identically to a plane-free build.
+    faults: Option<MediumFaults>,
 }
 
 impl Medium {
@@ -97,7 +102,20 @@ impl Medium {
             next_tx: 0,
             counters: MediumCounters::default(),
             rop_peaks: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Install the channel- and churn-class fault sources. Fade and
+    /// corruption draws come from their own streams and only run *after*
+    /// the base PHY draw, so the `PHY_ERROR` sequence is untouched.
+    pub fn set_faults(&mut self, faults: MediumFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// The fault state, when installed (for end-of-run accounting).
+    pub fn faults(&self) -> Option<&MediumFaults> {
+        self.faults.as_ref()
     }
 
     /// The network this medium simulates.
@@ -255,7 +273,7 @@ impl Medium {
 
         let mut out = Vec::with_capacity(done.tracks.len());
         for track in &done.tracks {
-            let reception = self.adjudicate(&done, track);
+            let reception = self.adjudicate(&done, track, now);
             if reception.success {
                 self.counters.receptions_ok += 1;
             } else {
@@ -266,7 +284,7 @@ impl Medium {
         out
     }
 
-    fn adjudicate(&mut self, done: &ActiveTx, track: &RxTrack) -> Reception {
+    fn adjudicate(&mut self, done: &ActiveTx, track: &RxTrack, now: SimTime) -> Reception {
         let src = done.frame.src;
         let rx = track.rx;
         let sig_mw = self.rss_mw(src, rx);
@@ -283,6 +301,15 @@ impl Medium {
         }
         if track.rx_transmitted {
             return fail(f64::NEG_INFINITY);
+        }
+        // Churned-dark endpoints: a departed client neither transmits
+        // usefully nor receives; either end dark fails the reception.
+        if let Some(f) = &mut self.faults {
+            if f.churn.check_dark(src.index() as u32, now)
+                || f.churn.check_dark(rx.index() as u32, now)
+            {
+                return fail(f64::NEG_INFINITY);
+            }
         }
 
         let mut interf_mw = track.max_interf_mw;
@@ -317,11 +344,31 @@ impl Medium {
                     .unwrap_or(own_rss);
                 let gap = (peak - own_rss).max(0.0);
                 let p = rop_decode_probability(snr_db, gap);
-                self.rng.chance(p)
+                let mut ok = self.rng.chance(p);
+                if ok {
+                    if let Some(f) = &mut self.faults {
+                        // Decoded but corrupted: the integrity check at
+                        // the AP discards it, same as a decode failure.
+                        if f.channel.rop_corrupts() {
+                            ok = false;
+                        }
+                    }
+                }
+                ok
             }
             FrameBody::SignatureBurst(b) => {
                 let p = signature_detection_probability(b.combined(), sinr_db);
-                self.rng.chance(p)
+                let mut ok = self.rng.chance(p);
+                if ok {
+                    if let Some(f) = &mut self.faults {
+                        // Correlated fade: suppress this and the next
+                        // fade_len − 1 would-be detections.
+                        if f.channel.fade_suppresses() {
+                            ok = false;
+                        }
+                    }
+                }
+                ok
             }
         };
 
@@ -715,5 +762,117 @@ mod more_tests {
         let c = m.counters();
         assert_eq!(c.started, 1);
         assert_eq!(c.receptions_ok + c.receptions_failed, 1);
+    }
+
+    fn data_on_link0(n: &Network) -> Frame {
+        let _ = n;
+        Frame {
+            src: NodeId(0),
+            body: FrameBody::Data {
+                packet: Packet {
+                    id: PacketId(1),
+                    flow: FlowId(0),
+                    link: LinkId(0),
+                    payload_bytes: 512,
+                    created_at: SimTime::ZERO,
+                    kind: PacketKind::Udp,
+                    seq: 0,
+                },
+                fake: false,
+                client_burst: None,
+            },
+            bits: 4096,
+        }
+    }
+
+    #[test]
+    fn churned_dark_endpoint_fails_reception() {
+        use domino_faults::{FaultConfig, FaultPlane};
+        let n = star(&[-55.0]);
+        // Client 1 leaves constantly: near-certain dark at any instant.
+        let cfg = FaultConfig {
+            churn_rate_hz: 1_000.0,
+            churn_downtime_us: 100_000.0,
+            ..FaultConfig::off()
+        };
+        let plane = FaultPlane::new(&cfg, 5, &[1], 1.0);
+        let mut m = Medium::new(n.clone(), 1);
+        m.set_faults(plane.medium);
+        let mut failed = 0u32;
+        for i in 0..20u64 {
+            let at = SimTime::from_millis(10 + i * 40);
+            let t = m.begin(at, data_on_link0(&n));
+            if !m.end(t, at)[0].success {
+                failed += 1;
+            }
+        }
+        assert!(failed >= 15, "dark client kept receiving: {failed}/20 failed");
+        let f = m.faults().expect("installed");
+        assert_eq!(u64::from(failed), f.churn.drops);
+        assert!(f.churn.events > 0);
+    }
+
+    #[test]
+    fn fade_bursts_suppress_otherwise_good_detections() {
+        use domino_faults::{FaultConfig, FaultPlane};
+        let n = star(&[-55.0]);
+        let burst = Frame {
+            src: NodeId(0),
+            body: FrameBody::SignatureBurst(Burst {
+                codes: vec![1],
+                targets: vec![NodeId(1)],
+                marker: BurstMarker::Start,
+                slot: 0,
+                continues: false,
+            }),
+            bits: 0,
+        };
+        let run = |faded: bool| {
+            let mut m = Medium::new(n.clone(), 6);
+            if faded {
+                let cfg = FaultConfig { fade: 0.2, fade_len: 5, ..FaultConfig::off() };
+                m.set_faults(FaultPlane::new(&cfg, 6, &[], 1.0).medium);
+            }
+            let mut ok = 0u32;
+            for i in 0..200u64 {
+                let t = m.begin(SimTime::from_micros(i * 20), burst.clone());
+                if m.end(t, SimTime::from_micros(i * 20))[0].success {
+                    ok += 1;
+                }
+            }
+            (ok, m.faults().map(|f| f.channel.detections_suppressed).unwrap_or(0))
+        };
+        let (clean_ok, _) = run(false);
+        let (faded_ok, suppressed) = run(true);
+        // Fades only ever subtract, and by exactly the suppression count.
+        assert_eq!(u64::from(clean_ok - faded_ok), suppressed);
+        assert!(suppressed > 30, "fades barely fired: {suppressed}");
+    }
+
+    #[test]
+    fn rop_corruption_discards_decoded_reports() {
+        use domino_faults::{FaultConfig, FaultPlane};
+        let n = star(&[-55.0]);
+        let rep = report(&n, 1, 5);
+        let run = |corrupt: bool| {
+            let mut m = Medium::new(n.clone(), 7);
+            if corrupt {
+                let cfg = FaultConfig { rop_corrupt: 0.4, ..FaultConfig::off() };
+                m.set_faults(FaultPlane::new(&cfg, 7, &[], 1.0).medium);
+            }
+            let mut ok = 0u64;
+            for i in 0..500u64 {
+                let t = m.begin(SimTime::from_micros(i * 20), rep.clone());
+                if m.end(t, SimTime::from_micros(i * 20 + 16))[0].success {
+                    ok += 1;
+                }
+            }
+            (ok, m.faults().map(|f| f.channel.rops_corrupted).unwrap_or(0))
+        };
+        let (clean_ok, _) = run(false);
+        let (corrupt_ok, corrupted) = run(true);
+        assert_eq!(clean_ok - corrupt_ok, corrupted);
+        let rate = corrupted as f64 / clean_ok as f64;
+        assert!((rate - 0.4).abs() < 0.08, "corruption rate {rate}");
     }
 }

@@ -2,6 +2,7 @@
 //! `plan(scale, seed) -> Plan`; the registry ties them together.
 
 pub mod ablations;
+pub mod chaos_degradation;
 pub mod fig02_motivation;
 pub mod fig05_rop_samples;
 pub mod fig06_guard_sweep;

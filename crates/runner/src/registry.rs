@@ -36,7 +36,7 @@ impl std::fmt::Debug for Experiment {
 
 /// Every experiment, in the canonical regeneration order (the slowest
 /// sweep runs last, matching the retired `run_all` sequence).
-pub const REGISTRY: [Experiment; 14] = [
+pub const REGISTRY: [Experiment; 15] = [
     Experiment {
         name: exp::table1_params::NAME,
         output: exp::table1_params::OUTPUT,
@@ -120,6 +120,12 @@ pub const REGISTRY: [Experiment; 14] = [
         output: exp::sec5_polling_sweep::OUTPUT,
         plan: exp::sec5_polling_sweep::plan,
         title: "§5 — polling-frequency sweep",
+    },
+    Experiment {
+        name: exp::chaos_degradation::NAME,
+        output: exp::chaos_degradation::OUTPUT,
+        plan: exp::chaos_degradation::plan,
+        title: "Chaos — degradation under injected faults vs intensity",
     },
 ];
 

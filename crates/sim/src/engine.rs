@@ -38,6 +38,53 @@ use std::collections::BinaryHeap;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventHandle(u64);
 
+/// Default liveness budget: events allowed per liveness window before the
+/// engine declares a livelock. The ceiling has to clear the largest
+/// same-instant cascade a *legitimate* run produces — DOMINO under heavy
+/// TCP on T(10,2) has been measured at ~350k events inside one window at a
+/// batch boundary — so the default sits an order of magnitude above that.
+/// A genuine non-terminating spin still trips it within seconds of wall
+/// time.
+pub const DEFAULT_EVENT_BUDGET: u64 = 5_000_000;
+
+/// Default liveness window of simulated time over which the event budget
+/// applies.
+pub const DEFAULT_LIVENESS_WINDOW: SimDuration = SimDuration::from_millis(1);
+
+/// Typed error returned by [`Engine::pop_until_checked`] when the event
+/// rate exceeds the configured budget without the clock advancing past the
+/// liveness window — i.e. the run is spinning instead of making progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Livelock {
+    /// Simulation time at which the budget was exhausted.
+    pub at: SimTime,
+    /// Events delivered inside the current window when the check fired.
+    pub events_in_window: u64,
+    /// The configured per-window budget.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for Livelock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "livelock at {:?}: {} events in one liveness window (budget {})",
+            self.at, self.events_in_window, self.budget
+        )
+    }
+}
+
+impl std::error::Error for Livelock {}
+
+/// Progress-tracking state for the liveness monitor.
+#[derive(Clone, Copy, Debug)]
+struct Liveness {
+    budget: u64,
+    window: SimDuration,
+    window_start: SimTime,
+    window_events: u64,
+}
+
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -73,6 +120,7 @@ pub struct Engine<E> {
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
     processed: u64,
+    liveness: Option<Liveness>,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -101,7 +149,21 @@ impl<E> Engine<E> {
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
             processed: 0,
+            liveness: None,
         }
+    }
+
+    /// Arm the liveness monitor: more than `budget` events delivered while
+    /// the clock stays inside one `window` of simulated time makes
+    /// [`Engine::pop_until_checked`] return a [`Livelock`]. Observation
+    /// only — arming never changes event order, timing, or RNG state.
+    pub fn set_liveness(&mut self, budget: u64, window: SimDuration) {
+        self.liveness = Some(Liveness {
+            budget,
+            window,
+            window_start: self.now,
+            window_events: 0,
+        });
     }
 
     /// Current simulation time: the timestamp of the most recently popped
@@ -187,6 +249,33 @@ impl<E> Engine<E> {
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_until(SimTime::MAX)
+    }
+
+    /// [`Engine::pop_until`] under the liveness monitor: delivers the next
+    /// event, or returns a typed [`Livelock`] once the per-window event
+    /// budget set by [`Engine::set_liveness`] is exhausted without the
+    /// clock leaving the window. With no monitor armed this is exactly
+    /// `pop_until`.
+    pub fn pop_until_checked(
+        &mut self,
+        horizon: SimTime,
+    ) -> Result<Option<(SimTime, E)>, Livelock> {
+        let popped = self.pop_until(horizon);
+        if let (Some((t, _)), Some(liv)) = (&popped, &mut self.liveness) {
+            if *t >= liv.window_start + liv.window {
+                liv.window_start = *t;
+                liv.window_events = 0;
+            }
+            liv.window_events += 1;
+            if liv.window_events > liv.budget {
+                return Err(Livelock {
+                    at: *t,
+                    events_in_window: liv.window_events,
+                    budget: liv.budget,
+                });
+            }
+        }
+        Ok(popped)
     }
 
     /// Timestamp of the next live event, if any.
@@ -336,5 +425,60 @@ mod tests {
         let mut e = Engine::new();
         e.schedule_at(SimTime::from_micros(10), Ev::A(1));
         e.fast_forward(SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn liveness_catches_zero_time_spin() {
+        let mut e = Engine::new();
+        e.set_liveness(100, SimDuration::from_millis(1));
+        e.schedule_at(SimTime::from_micros(10), Ev::A(0));
+        let horizon = SimTime::from_secs(1);
+        let err = loop {
+            match e.pop_until_checked(horizon) {
+                Ok(Some((_, Ev::A(n)))) => {
+                    // A self-perpetuating same-instant event: never advances.
+                    e.schedule_now(Ev::A(n + 1));
+                }
+                Ok(None) => panic!("spin should not drain"),
+                Err(lv) => break lv,
+            }
+        };
+        assert_eq!(err.at, SimTime::from_micros(10));
+        assert_eq!(err.budget, 100);
+        assert!(err.events_in_window > err.budget);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn liveness_stays_quiet_when_time_advances() {
+        let mut e = Engine::new();
+        e.set_liveness(10, SimDuration::from_micros(100));
+        e.schedule_at(SimTime::ZERO, Ev::A(0));
+        let horizon = SimTime::from_secs(1);
+        let mut count = 0u32;
+        while let Some((_, Ev::A(n))) =
+            e.pop_until_checked(horizon).expect("progressing run is live")
+        {
+            count += 1;
+            if n < 5_000 {
+                // Sparse enough that each window sees few events.
+                e.schedule_in(SimDuration::from_micros(50), Ev::A(n + 1));
+            }
+        }
+        assert_eq!(count, 5_001);
+    }
+
+    #[test]
+    fn unarmed_checked_pop_is_plain_pop_until() {
+        let mut e = Engine::new();
+        for n in 0..10_000 {
+            e.schedule_at(SimTime::from_nanos(5), Ev::A(n));
+        }
+        let horizon = SimTime::from_secs(1);
+        let mut seen = 0;
+        while let Ok(Some(_)) = e.pop_until_checked(horizon) {
+            seen += 1;
+        }
+        assert_eq!(seen, 10_000);
     }
 }

@@ -21,6 +21,6 @@ pub mod engine;
 pub mod rng;
 pub mod time;
 
-pub use engine::{Engine, EventHandle};
+pub use engine::{Engine, EventHandle, Livelock};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

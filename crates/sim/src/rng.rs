@@ -39,6 +39,14 @@ pub mod streams {
     pub const ROP: u64 = 0x08;
     /// Sample-level PHY experiments (noise, CFO).
     pub const PHY_SAMPLES: u64 = 0x09;
+    /// Fault plane: wired backbone message loss and delay spikes.
+    pub const FAULT_WIRED: u64 = 0x0A;
+    /// Fault plane: AP crash/restart and controller compute stalls.
+    pub const FAULT_NODE: u64 = 0x0B;
+    /// Fault plane: correlated signature fades and ROP corruption.
+    pub const FAULT_CHANNEL: u64 = 0x0C;
+    /// Fault plane: client join/leave churn schedules.
+    pub const FAULT_CHURN: u64 = 0x0D;
 }
 
 #[cfg(test)]

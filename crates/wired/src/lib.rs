@@ -47,6 +47,15 @@ impl WiredLatency {
     }
 
     /// Draw one latency sample.
+    ///
+    /// The sample is a normal deviate clamped from below: `.max(min_us)`
+    /// moves all left-tail mass onto the floor, so the *effective* mean of
+    /// what this returns is strictly greater than `mean_us` (a truncated-
+    /// normal bias). With the default parameters the floor sits more than
+    /// 10σ below the mean and the bias is far below a nanosecond, but for
+    /// models where the floor bites (e.g. `mean_us` near `min_us`, or the
+    /// wide-σ Fig 11 sweeps) the shift is real — the
+    /// `clamped_sample_mean_is_biased_upward` test pins it.
     pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         let us = rng.normal(self.mean_us, self.std_us).max(self.min_us);
         SimDuration::from_micros_f64(us)
@@ -70,28 +79,88 @@ pub struct InTransit<M> {
 pub struct Backbone {
     latency: WiredLatency,
     rng: SimRng,
+    /// Fault draws (loss, spikes) come from their own stream so that a
+    /// fault-free run consumes exactly the same jitter sequence whether or
+    /// not the knobs exist.
+    faults: SimRng,
+    loss: f64,
+    spike: f64,
+    spike_extra_us: f64,
     sent: u64,
+    lost: u64,
+    spiked: u64,
 }
 
 impl Backbone {
     /// A backbone with the given latency model, seeded deterministically.
+    /// All fault knobs default to off (loss probability 0.0, no spikes).
     pub fn new(latency: WiredLatency, master_seed: u64) -> Backbone {
         Backbone {
             latency,
             rng: SimRng::derive(master_seed, streams::WIRED_JITTER),
+            faults: SimRng::derive(master_seed, streams::FAULT_WIRED),
+            loss: 0.0,
+            spike: 0.0,
+            spike_extra_us: 0.0,
             sent: 0,
+            lost: 0,
+            spiked: 0,
         }
     }
 
+    /// Set the per-message loss probability (default 0.0). Only
+    /// [`Backbone::try_send`] honors it; with 0.0 no loss draw is made.
+    pub fn set_loss(&mut self, probability: f64) {
+        self.loss = probability.clamp(0.0, 1.0);
+    }
+
+    /// Set the per-message delay-spike probability and the mean extra
+    /// delay (exponentially distributed) a spiked message suffers on top
+    /// of its [`WiredLatency`] draw. Defaults to off.
+    pub fn set_spikes(&mut self, probability: f64, extra_us: f64) {
+        self.spike = probability.clamp(0.0, 1.0);
+        self.spike_extra_us = extra_us.max(0.0);
+    }
+
     /// Send a message now; returns it stamped with its delivery time.
+    /// Loss-exempt: models an ideal (never-dropping) backbone hop.
     pub fn send<M>(&mut self, now: SimTime, message: M) -> InTransit<M> {
         self.sent += 1;
         InTransit { deliver_at: now + self.latency.sample(&mut self.rng), message }
     }
 
-    /// Messages sent so far.
+    /// Send a message subject to the fault knobs: `None` means the
+    /// backbone dropped it. The latency draw happens first and
+    /// unconditionally, so surviving messages see exactly the latencies a
+    /// fault-free run would have given them; with all knobs at zero this
+    /// is byte-for-byte [`Backbone::send`].
+    pub fn try_send<M>(&mut self, now: SimTime, message: M) -> Option<InTransit<M>> {
+        let mut deliver_at = now + self.latency.sample(&mut self.rng);
+        self.sent += 1;
+        if self.loss > 0.0 && self.faults.chance(self.loss) {
+            self.lost += 1;
+            return None;
+        }
+        if self.spike > 0.0 && self.faults.chance(self.spike) {
+            self.spiked += 1;
+            deliver_at += SimDuration::from_micros_f64(self.faults.exponential(self.spike_extra_us));
+        }
+        Some(InTransit { deliver_at, message })
+    }
+
+    /// Messages sent so far (including ones the fault knobs dropped).
     pub fn messages_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Messages dropped by the loss knob so far.
+    pub fn messages_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Messages delayed by the spike knob so far.
+    pub fn spikes_injected(&self) -> u64 {
+        self.spiked
     }
 
     /// The latency model in force.
@@ -168,5 +237,79 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn clamped_sample_mean_is_biased_upward() {
+        // With the floor one σ below the mean, Φ(-1) ≈ 15.9 % of the mass
+        // is clamped up; the truncated mean of max(N(µ,σ), µ-σ) is
+        // µ + σ(φ(1) - Φ(-1)) ≈ µ + 0.0833σ. Pin that the empirical
+        // clamped mean lands on the analytic value, not on µ.
+        let l = WiredLatency { mean_us: 100.0, std_us: 40.0, min_us: 60.0 };
+        let mut rng = SimRng::derive(11, streams::WIRED_JITTER);
+        let n = 200_000;
+        let mean =
+            (0..n).map(|_| l.sample(&mut rng).as_micros_f64()).sum::<f64>() / n as f64;
+        let analytic = 100.0 + 40.0 * 0.083_332; // µ + σ·(φ(1) − Φ(−1))
+        assert!((mean - analytic).abs() < 0.2, "mean={mean} analytic={analytic}");
+        assert!(mean > 100.0 + 2.0, "clamping must visibly shift the mean: {mean}");
+    }
+
+    #[test]
+    fn try_send_with_knobs_off_matches_send() {
+        let mut ideal = Backbone::new(WiredLatency::default(), 21);
+        let mut faulty = Backbone::new(WiredLatency::default(), 21);
+        for i in 0..100u32 {
+            let a = ideal.send(SimTime::ZERO, i);
+            let b = faulty.try_send(SimTime::ZERO, i).expect("no loss configured");
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulty.messages_lost(), 0);
+        assert_eq!(faulty.spikes_injected(), 0);
+    }
+
+    #[test]
+    fn loss_knob_drops_at_the_configured_rate() {
+        let mut bb = Backbone::new(WiredLatency::default(), 31);
+        bb.set_loss(0.3);
+        let n = 20_000;
+        let delivered = (0..n).filter(|&i| bb.try_send(SimTime::ZERO, i).is_some()).count();
+        assert_eq!(bb.messages_sent(), n as u64);
+        assert_eq!(bb.messages_lost(), n as u64 - delivered as u64);
+        let rate = bb.messages_lost() as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn spikes_delay_but_never_drop() {
+        let mut plain = Backbone::new(WiredLatency::default(), 41);
+        let mut spiky = Backbone::new(WiredLatency::default(), 41);
+        spiky.set_spikes(0.5, 3_000.0);
+        let mut spiked = 0u32;
+        for i in 0..2_000u32 {
+            let a = plain.send(SimTime::ZERO, i).deliver_at;
+            let b = spiky.try_send(SimTime::ZERO, i).expect("spikes never drop").deliver_at;
+            assert!(b >= a, "a spike can only add delay");
+            if b > a {
+                spiked += 1;
+            }
+        }
+        assert_eq!(u64::from(spiked), spiky.spikes_injected());
+        assert!((900..1100).contains(&spiked), "spike count {spiked}");
+    }
+
+    #[test]
+    fn surviving_messages_keep_their_fault_free_latencies() {
+        // The loss draw must not perturb the jitter stream: message i gets
+        // the same latency in a lossy run as in a clean one.
+        let mut clean = Backbone::new(WiredLatency::default(), 51);
+        let mut lossy = Backbone::new(WiredLatency::default(), 51);
+        lossy.set_loss(0.4);
+        for i in 0..1_000u32 {
+            let a = clean.send(SimTime::ZERO, i).deliver_at;
+            if let Some(b) = lossy.try_send(SimTime::ZERO, i) {
+                assert_eq!(a, b.deliver_at);
+            }
+        }
     }
 }

@@ -23,6 +23,13 @@ echo "== golden gate: domino-run --check =="
 # index-ordered merge.
 ./target/release/domino-run --check --jobs 2
 
+echo "== chaos smoke: fixed-seed fault injection =="
+# The chaos_degradation experiment drives every scheme through the fault
+# plane at increasing intensity: the byte-exact re-check proves faulted
+# runs are as deterministic as clean ones (and that no MAC livelocks —
+# the experiment's liveness gate is part of its pinned output).
+./target/release/domino-run chaos_degradation --check --jobs 2
+
 echo "== lint: domino-lint (determinism & correctness rules) =="
 # Unwaived violations (or reasonless waivers) exit non-zero and fail CI.
 cargo run --release --offline -q -p domino-lint

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 pub use domino_core as core;
+pub use domino_faults as faults;
 pub use domino_mac as mac;
 pub use domino_medium as medium;
 pub use domino_phy as phy;

@@ -4,6 +4,8 @@
 //! [`prop::Gen`]; failures shrink to a minimal choice sequence that can be
 //! pinned with `prop::replay` (see the regression tests at the bottom).
 
+use domino::core::{scenarios, FaultConfig, RunReport, Scheme, SimulationBuilder};
+use domino::mac::FlowKind;
 use domino::phy::gold::{m_sequence, GoldFamily};
 use domino::phy::units::{Db, Dbm};
 use domino::scheduler::{Converter, ConverterConfig, RandScheduler};
@@ -233,6 +235,131 @@ fn gold_codes_cross_correlation_is_bounded() {
             let c = family.code(i).periodic_correlation(family.code(j), shift);
             prop_assert!(c.abs() <= 17, "corr {} for ({}, {}) at {}", c, i, j, shift);
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plane properties: for ANY random fault schedule, every MAC's run
+// terminates (the engine's liveness monitor stays clean), delivers no more
+// than it was offered, keeps its fault counters consistent — and drawing the
+// all-zero schedule reproduces the unfaulted seeded run byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// Draw an arbitrary fault schedule. Every knob shrinks toward 0 (= off),
+/// so a failing case minimizes to the smallest dose that still breaks the
+/// invariant. Ranges run up to roughly twice the `FaultConfig::chaos(1.0)`
+/// profile.
+fn arbitrary_fault_schedule(g: &mut prop::Gen) -> FaultConfig {
+    FaultConfig {
+        wired_loss: g.f64(0.0, 0.25),
+        wired_spike: g.f64(0.0, 0.16),
+        wired_spike_us: g.f64(0.0, 5_000.0),
+        ap_crash: g.f64(0.0, 0.02),
+        ap_downtime_us: g.f64(0.0, 30_000.0),
+        compute_stall: g.f64(0.0, 0.16),
+        compute_stall_us: g.f64(0.0, 3_000.0),
+        rop_stale: g.f64(0.0, 0.12),
+        fade: g.f64(0.0, 0.08),
+        fade_len: g.u64(0, 12) as u32,
+        rop_corrupt: g.f64(0.0, 0.20),
+        churn_rate_hz: g.f64(0.0, 3.0),
+        churn_downtime_us: g.f64(0.0, 50_000.0),
+    }
+}
+
+/// The invariants every faulted run must satisfy.
+fn assert_run_invariants(report: &RunReport, duration_s: f64) {
+    let s = &report.stats;
+    let label = report.scheme.label();
+    // Termination: the run ended without tripping the liveness monitor.
+    prop_assert_eq!(s.faults.livelocks, 0, "{} livelocked", label);
+    prop_assert!(s.events > 0, "{} processed no events", label);
+    prop_assert!(s.duration_s == duration_s);
+    // Counter consistency across the fault ledger.
+    prop_assert!(
+        s.faults.crash_recoveries <= s.faults.ap_crashes,
+        "{}: more recoveries than crashes: {:?}",
+        label,
+        s.faults
+    );
+    prop_assert!(
+        s.faults.fades_opened <= s.faults.detections_suppressed,
+        "{}: fade opened without suppressing its detection: {:?}",
+        label,
+        s.faults
+    );
+    prop_assert!(
+        s.domino.watchdog_storms * 8 <= s.domino.watchdog_restarts,
+        "{}: storms outnumber restarts: {:?}",
+        label,
+        s.domino
+    );
+}
+
+#[test]
+fn any_fault_schedule_terminates_and_conserves() {
+    let duration_s = 0.1;
+    let (down_bps, up_bps) = (4e6, 1e6);
+    // The unfaulted pin, computed once per scheme: an all-off plane must
+    // reproduce exactly these stats in every case below.
+    let baseline = |scheme: Scheme| {
+        SimulationBuilder::new(scenarios::fig1())
+            .udp(down_bps, up_bps)
+            .duration_s(duration_s)
+            .seed(7)
+            .run(scheme)
+    };
+    let pins: Vec<RunReport> = Scheme::ALL.iter().map(|&s| baseline(s)).collect();
+
+    prop::check_with(
+        prop::Config { cases: 6, seed: 0xFA01, max_shrink_replays: 48 },
+        "any_fault_schedule_terminates_and_conserves",
+        |g| {
+            let faults = arbitrary_fault_schedule(g);
+            let seed = g.u64(1, 1 << 20);
+            let b = SimulationBuilder::new(scenarios::fig1())
+                .udp(down_bps, up_bps)
+                .duration_s(duration_s)
+                .seed(seed);
+            for (&scheme, pin) in Scheme::ALL.iter().zip(&pins) {
+                let r = b.clone().faults(faults.clone()).run(scheme);
+                assert_run_invariants(&r, duration_s);
+                // delivered ≤ offered, per flow link.
+                let slack = (r.stats.delivered_bits.len() * 512 * 8) as f64;
+                for f in
+                    &domino::mac::Workload::udp_updown(b.network_ref(), down_bps, up_bps).flows
+                {
+                    let FlowKind::Udp { rate_bps } = &f.kind else { continue };
+                    let delivered = r.stats.delivered_bits[f.link.index()] as f64;
+                    prop_assert!(
+                        delivered <= rate_bps * duration_s + slack,
+                        "{}: link {:?} delivered {} > offered {}",
+                        scheme.label(),
+                        f.link,
+                        delivered,
+                        rate_bps * duration_s
+                    );
+                }
+                // All-off reproduces the pinned seeded stats byte-for-byte
+                // regardless of what the faulted run just did.
+                let off = b.clone().seed(7).faults(FaultConfig::off()).run(scheme);
+                prop_assert_eq!(&off.stats.delivered_bits, &pin.stats.delivered_bits);
+                prop_assert_eq!(off.stats.events, pin.stats.events);
+                prop_assert_eq!(off.stats.faults, Default::default());
+            }
+        },
+    );
+}
+
+#[test]
+fn regression_all_zero_fault_schedule_is_off() {
+    // The shrinker's floor for `arbitrary_fault_schedule`: every choice 0
+    // must decode to the all-off config (so minimal counterexamples read
+    // as "no faults needed").
+    prop::replay(&[], |g| {
+        let cfg = arbitrary_fault_schedule(g);
+        prop_assert!(!cfg.enabled());
+        prop_assert_eq!(cfg, FaultConfig::off());
     });
 }
 
