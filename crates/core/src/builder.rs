@@ -19,6 +19,7 @@ use domino_mac::centaur::{CentaurConfig, CentaurSim};
 use domino_mac::domino::{DominoConfig, DominoSim};
 use domino_mac::omniscient::OmniscientSim;
 use domino_mac::{DcfSim, Workload};
+use domino_obs::TraceHandle;
 use domino_topology::{Direction, Network};
 
 /// The four channel-access schemes of the evaluation.
@@ -148,40 +149,57 @@ impl SimulationBuilder {
 
     /// Run under the given scheme.
     pub fn run(&self, scheme: Scheme) -> RunReport {
+        self.run_traced(scheme, TraceHandle::off())
+    }
+
+    /// [`SimulationBuilder::run`] with a trace sink attached. Tracing is
+    /// observation only — it draws no randomness and schedules no events,
+    /// so a run with the handle off is byte-identical to [`run`].
+    ///
+    /// The handle is passed per call (rather than stored on the builder)
+    /// so the builder itself stays `Send`: trace sinks are `Rc`-based and
+    /// must be created inside the thread that runs the simulation.
+    ///
+    /// [`run`]: SimulationBuilder::run
+    pub fn run_traced(&self, scheme: Scheme, tracer: TraceHandle) -> RunReport {
         let workload = self
             .workload
             .clone()
             .expect("no workload configured: call udp()/tcp()/workload() first");
         let stats = match scheme {
-            Scheme::Dcf => DcfSim::run_faulted(
+            Scheme::Dcf => DcfSim::run_traced(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 &self.faults,
+                tracer,
             ),
-            Scheme::Centaur => CentaurSim::run_faulted(
+            Scheme::Centaur => CentaurSim::run_traced(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 self.centaur.clone(),
                 &self.faults,
+                tracer,
             ),
-            Scheme::Domino => DominoSim::run_faulted(
+            Scheme::Domino => DominoSim::run_traced(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 self.domino.clone(),
                 &self.faults,
+                tracer,
             ),
-            Scheme::Omniscient => OmniscientSim::run_faulted(
+            Scheme::Omniscient => OmniscientSim::run_traced(
                 &self.network,
                 &workload,
                 self.duration_s,
                 self.seed,
                 &self.faults,
+                tracer,
             ),
         };
         RunReport::new(scheme, workload.flow_links(), stats)
@@ -246,6 +264,32 @@ mod tests {
             assert_eq!(plain.stats.delivered_bits, off.stats.delivered_bits, "{scheme:?}");
             assert_eq!(plain.stats.events, off.stats.events, "{scheme:?}");
             assert_eq!(off.stats.faults, Default::default(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        // The determinism pin for the observability plane: attaching a
+        // trace sink must not perturb event order, timing, or RNG state —
+        // even under an active fault plane — and a disabled handle makes
+        // zero allocations (the emit closure never runs). Every scheme
+        // still produces trace events (the engine's liveness roll-over
+        // alone guarantees a non-empty trace).
+        let net = scenarios::fig1();
+        let b = SimulationBuilder::new(net)
+            .udp(3e6, 1e6)
+            .duration_s(0.4)
+            .seed(13)
+            .faults(FaultConfig::chaos(0.8));
+        for scheme in Scheme::ALL {
+            let plain = b.run(scheme);
+            let (handle, sink) = domino_obs::TraceHandle::mem();
+            let traced = b.run_traced(scheme, handle);
+            assert_eq!(plain.stats.delivered_bits, traced.stats.delivered_bits, "{scheme:?}");
+            assert_eq!(plain.stats.events, traced.stats.events, "{scheme:?}");
+            assert_eq!(plain.stats.faults, traced.stats.faults, "{scheme:?}");
+            assert_eq!(plain.stats.domino, traced.stats.domino, "{scheme:?}");
+            assert!(!sink.is_empty(), "{scheme:?} produced no trace events");
         }
     }
 

@@ -193,6 +193,26 @@ impl FaultStats {
             + self.stale_reports
             + self.churn_events
     }
+
+    /// Every counter as a `(stable name, value)` pair, in declaration
+    /// order. The names feed metric registries and run manifests, so
+    /// they are part of the output contract — do not rename.
+    pub fn classes(&self) -> [(&'static str, u64); 12] {
+        [
+            ("wired_msgs_lost", self.wired_msgs_lost),
+            ("wired_spikes", self.wired_spikes),
+            ("ap_crashes", self.ap_crashes),
+            ("crash_recoveries", self.crash_recoveries),
+            ("compute_stalls", self.compute_stalls),
+            ("fades_opened", self.fades_opened),
+            ("detections_suppressed", self.detections_suppressed),
+            ("rops_corrupted", self.rops_corrupted),
+            ("stale_reports", self.stale_reports),
+            ("churn_events", self.churn_events),
+            ("churn_drops", self.churn_drops),
+            ("livelocks", self.livelocks),
+        ]
+    }
 }
 
 /// Node-class faults: AP crashes, controller compute stalls, stale

@@ -12,11 +12,11 @@
 //! | rule | scope | what it rejects |
 //! |------|-------|-----------------|
 //! | D001 | all but `testkit`, `bench` | `std::time` / `Instant` / `SystemTime` |
-//! | D002 | `scheduler` `mac` `sim` `medium` `faults` | iterating a `HashMap`/`HashSet` |
+//! | D002 | `scheduler` `mac` `sim` `medium` `faults` `obs` | iterating a `HashMap`/`HashSet` |
 //! | D003 | non-test code | `==`/`!=` against a float literal |
 //! | D004 | everywhere | `rand::`, `thread_rng`, OS entropy |
-//! | D005 | lib code of `phy` `scheduler` `mac` `sim` `faults` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
-//! | D006 | library code | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` |
+//! | D005 | lib code of `phy` `scheduler` `mac` `sim` `faults` `obs` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | D006 | library code; `runner`/`obs` binaries | `println!`/… in libraries; prints with inline format specs in the CLI binaries |
 //!
 //! The engine is token-level by design (no full parse, zero deps), so each
 //! rule is a *conservative approximation*: e.g. D003 only fires when one
@@ -82,7 +82,7 @@ impl RuleId {
             RuleId::D003 => "float == / != : exact float comparison is representation-dependent",
             RuleId::D004 => "ambient randomness: all RNG goes through SimRng with explicit (seed, stream)",
             RuleId::D005 => "unwrap/expect/panic!/unreachable!/todo! in phy/scheduler/mac/sim/faults library code",
-            RuleId::D006 => "println!/eprintln!/dbg! in library code: diagnostics flow through stats",
+            RuleId::D006 => "println!/eprintln!/dbg! in library code (runner/obs binaries: no inline format specs — print pre-rendered strings)",
             RuleId::W000 => "waiver without a reason: `// lint: allow(Dxxx) <why>` requires the why",
         }
     }
@@ -133,10 +133,18 @@ pub struct Finding {
 
 /// Crates whose purpose is wall-clock measurement or driving binaries.
 const WALL_CLOCK_CRATES: &[&str] = &["testkit", "bench", "lint"];
-/// Crates whose state feeds scheduling decisions (D002 scope).
-const ORDERED_CRATES: &[&str] = &["scheduler", "mac", "sim", "medium", "faults"];
-/// Crates whose library code must not panic (D005 scope).
-const NO_PANIC_CRATES: &[&str] = &["phy", "scheduler", "mac", "sim", "faults"];
+/// Crates whose state feeds scheduling decisions (D002 scope). `obs` is
+/// in scope because trace analysis groups events in maps whose iteration
+/// order reaches rendered reports.
+const ORDERED_CRATES: &[&str] = &["scheduler", "mac", "sim", "medium", "faults", "obs"];
+/// Crates whose library code must not panic (D005 scope). `obs` is in
+/// scope because trace sinks run inside every simulation: a panicking
+/// observer would turn observation into a fault of its own.
+const NO_PANIC_CRATES: &[&str] = &["phy", "scheduler", "mac", "sim", "faults", "obs"];
+/// Crates whose binaries must print pre-rendered strings only (D006
+/// render-path extension): all user-facing formatting lives in library
+/// render functions, so the text is unit-testable and byte-stable.
+const RENDER_PATH_CRATES: &[&str] = &["runner", "obs"];
 
 /// Hash-container methods that expose unordered iteration.
 const ITERATION_METHODS: &[&str] = &[
@@ -549,6 +557,13 @@ fn d005_no_panic(
 /// D006: stdout/stderr from library code. Binaries, examples, integration
 /// tests and `#[cfg(test)]` code may print; libraries report through
 /// `stats`.
+///
+/// Render-path extension: the binaries of [`RENDER_PATH_CRATES`] (the
+/// user-facing `domino-run` / `domino-trace` CLIs) may print, but only
+/// pre-rendered strings — a print macro whose format literal carries an
+/// inline format spec (`{:…}`) is formatting at the print site, which
+/// belongs in the library's `render_*` functions where it is unit-tested
+/// and byte-stable.
 fn d006_no_stdout(
     ctx: &FileCtx,
     code: &[Token<'_>],
@@ -556,6 +571,12 @@ fn d006_no_stdout(
     out: &mut Vec<Finding>,
 ) {
     if ctx.is_bin || ctx.is_test_file {
+        if ctx.is_bin
+            && !ctx.is_test_file
+            && RENDER_PATH_CRATES.contains(&ctx.crate_name.as_str())
+        {
+            d006_render_path(ctx, code, in_test, out);
+        }
         return;
     }
     for (i, t) in code.iter().enumerate() {
@@ -576,6 +597,51 @@ fn d006_no_stdout(
                 t.text
             ),
         });
+    }
+}
+
+/// D006 render-path extension body: flag print macros in a render-path
+/// binary whose format literal contains an inline format spec (`{:`).
+/// `dbg!` is flagged unconditionally — it is never user-facing output.
+fn d006_render_path(
+    ctx: &FileCtx,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if code.get(i + 1).map(|n| n.text) != Some("!") {
+            continue;
+        }
+        let dbg = t.text == "dbg";
+        if !dbg && !matches!(t.text, "println" | "eprintln" | "print" | "eprint") {
+            continue;
+        }
+        // First argument: the format literal right after `!(`.
+        let lit = code
+            .get(i + 2)
+            .filter(|n| n.text == "(")
+            .and_then(|_| code.get(i + 3))
+            .filter(|n| matches!(n.kind, TokenKind::Str | TokenKind::RawStr));
+        let inline_spec = lit.is_some_and(|l| l.text.contains("{:"));
+        if dbg || inline_spec {
+            out.push(Finding {
+                rule: RuleId::D006,
+                line: t.line,
+                message: if dbg {
+                    format!("`dbg!` in the `{}` binary; it is never user-facing output", ctx.crate_name)
+                } else {
+                    format!(
+                        "`{}!` with an inline format spec in the `{}` binary; \
+                         pre-render the text in a library `render_*` function",
+                        t.text, ctx.crate_name
+                    )
+                },
+            });
+        }
     }
 }
 

@@ -178,6 +178,53 @@ fn d006_splits_runner_library_from_its_cli() {
     assert!(rules_at("crates/runner/src/bin/domino_run.rs", src).is_empty());
 }
 
+// ------------------------------------------------- obs scope (D002/D005)
+
+#[test]
+fn obs_crate_is_in_scope_for_ordering_and_no_panic() {
+    // Trace analysis groups events in maps whose iteration order reaches
+    // rendered reports, and trace sinks run inside every simulation — so
+    // the observability crate is held to the D002 and D005 bars.
+    const OBS: &str = "crates/obs/src/analysis.rs";
+    let hash_iter = "use std::collections::HashMap;\n\
+                     fn f(m: HashMap<u32, u32>) { for x in m.values() { let _ = x; } }";
+    assert_eq!(rules_at(OBS, hash_iter), vec![RuleId::D002]);
+    let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert_eq!(rules_at(OBS, unwrap), vec![RuleId::D005]);
+    // The domino-trace binary may still unwrap (bins are D005-exempt).
+    assert!(rules_at("crates/obs/src/bin/domino_trace.rs", unwrap).is_empty());
+}
+
+// ------------------------------------- render-path binaries (D006 extension)
+
+#[test]
+fn d006_flags_inline_format_specs_in_render_path_binaries() {
+    // domino-run and domino-trace print pre-rendered strings; a format
+    // spec at the print site is formatting that escaped the render path.
+    let bad = "fn main() { println!(\"{:<28} {:>9.1} ms\", name, ms); }";
+    assert_eq!(
+        rules_at("crates/runner/src/bin/domino_run.rs", bad),
+        vec![RuleId::D006]
+    );
+    assert_eq!(
+        rules_at("crates/obs/src/bin/domino_trace.rs", bad),
+        vec![RuleId::D006]
+    );
+    let dbg = "fn main() { dbg!(1); }";
+    assert_eq!(rules_at("crates/runner/src/bin/domino_run.rs", dbg), vec![RuleId::D006]);
+}
+
+#[test]
+fn d006_render_path_allows_plain_prints_and_other_bins() {
+    // Plain `{}` / named `{name}` holes pass pre-rendered text through.
+    let good = "fn main() { println!(\"{}\", rendered); eprintln!(\"cannot write {path}\"); }";
+    assert!(rules_at("crates/runner/src/bin/domino_run.rs", good).is_empty());
+    assert!(rules_at("crates/obs/src/bin/domino_trace.rs", good).is_empty());
+    // Bench's thin per-experiment bins are not render-path scoped.
+    let spec = "fn main() { println!(\"{:>5}\", x); }";
+    assert!(rules_at("crates/bench/src/bin/fig12.rs", spec).is_empty());
+}
+
 // ------------------------------------------------- faults scope (D001–D006)
 
 #[test]

@@ -23,6 +23,7 @@ use crate::timing::{ack_timeout, data_airtime, DIFS, MAC_OVERHEAD_BYTES, RETRY_L
 use crate::workload::{client_indices, RunStats, Workload};
 use domino_faults::{FaultConfig, FaultPlane};
 use domino_medium::{Frame, FrameBody, Medium, Reception};
+use domino_obs::{FaultKind, TraceEvent, TraceHandle};
 use domino_scheduler::RandScheduler;
 use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
@@ -175,6 +176,22 @@ impl CentaurSim {
         cfg: CentaurConfig,
         faults: &FaultConfig,
     ) -> RunStats {
+        Self::run_traced(net, workload, duration_s, seed, cfg, faults, TraceHandle::off())
+    }
+
+    /// [`CentaurSim::run_faulted`] with a trace sink attached. Tracing is
+    /// observation only — it draws no randomness and schedules no events,
+    /// so a run with the handle off is byte-identical to one that never
+    /// attached a tracer.
+    pub fn run_traced(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        cfg: CentaurConfig,
+        faults: &FaultConfig,
+        tracer: TraceHandle,
+    ) -> RunStats {
         let mut engine: Engine<Ev<CentaurEv>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
         let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
@@ -183,11 +200,14 @@ impl CentaurSim {
         if faults_on {
             medium.set_faults(plane.medium);
         }
+        medium.set_tracer(tracer.clone());
         engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
+        engine.set_tracer(tracer.clone());
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let mut backbone = Backbone::new(cfg.wired.clone(), seed);
         backbone.set_loss(faults.wired_loss);
         backbone.set_spikes(faults.wired_spike, faults.wired_spike_us);
+        backbone.set_tracer(tracer.clone());
         let graph = ConflictGraph::build_for_scheduling(net);
         let mut sched = RandScheduler::new(net.links().len());
         let mut rto_gen: Vec<u64> = vec![0; workload.flows.len()];
@@ -346,6 +366,10 @@ impl CentaurSim {
                     if let Some(downtime) = node_faults.crash() {
                         // Crash with state loss: forget everything, go
                         // dark for the downtime.
+                        tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                            kind: FaultKind::ApCrash,
+                            node: ap,
+                        });
                         // lint: allow(D005) controller addresses epochs to APs only; a miss is a wiring bug worth a crash
                         let st = ap_states[apx].as_mut().expect("epoch for non-AP");
                         st.assignments.clear();
@@ -361,6 +385,10 @@ impl CentaurSim {
                     if ap_crashed[apx] {
                         ap_crashed[apx] = false;
                         node_faults.recovered();
+                        tracer.emit(now.as_nanos(), || TraceEvent::FaultRecover {
+                            kind: FaultKind::ApCrash,
+                            node: ap,
+                        });
                     }
                     // lint: allow(D005) controller addresses epochs to APs only; a miss is a wiring bug worth a crash
                     let st = ap_states[apx].as_mut().expect("epoch for non-AP");
@@ -427,6 +455,10 @@ impl CentaurSim {
                     if epoch == epoch_counter && pending_done > 0 {
                         pending_done -= 1;
                         if pending_done == 0 {
+                            tracer.emit(now.as_nanos(), || TraceEvent::EpochBarrier {
+                                epoch: epoch_counter,
+                                pending: 0,
+                            });
                             engine.schedule_now(Ev::Scheme(CentaurEv::ControllerCheck));
                         }
                     }
@@ -462,7 +494,18 @@ impl CentaurSim {
                     pending_done = aps.len();
                     // A stalled controller computes the round late; every
                     // assignment ships after the stall.
-                    let stall = node_faults.compute_stall().unwrap_or(SimDuration::ZERO);
+                    let stall = match node_faults.compute_stall() {
+                        Some(d) => {
+                            // The controller is not a radio node; u32::MAX
+                            // marks it.
+                            tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                                kind: FaultKind::ComputeStall,
+                                node: u32::MAX,
+                            });
+                            d
+                        }
+                        None => SimDuration::ZERO,
+                    };
                     // Each scheduled link gets a quota of up to
                     // `packets_per_round` back-to-back packets; the next
                     // round is released only when every AP reports done
@@ -500,6 +543,13 @@ impl CentaurSim {
                 }
                 Ev::Scheme(CentaurEv::EpochTimeout { epoch }) => {
                     if epoch == epoch_counter && pending_done > 0 {
+                        // Barrier released by the timeout, not by Done
+                        // reports: `pending` records how many were missing.
+                        let pending = pending_done as u32;
+                        tracer.emit(now.as_nanos(), move || TraceEvent::EpochBarrier {
+                            epoch,
+                            pending,
+                        });
                         pending_done = 0;
                         engine.schedule_now(Ev::Scheme(CentaurEv::ControllerCheck));
                     }

@@ -453,13 +453,30 @@ impl DcfSim {
         seed: u64,
         faults: &FaultConfig,
     ) -> RunStats {
+        Self::run_traced(net, workload, duration_s, seed, faults, domino_obs::TraceHandle::off())
+    }
+
+    /// [`DcfSim::run_faulted`] with a trace sink attached. DCF has no
+    /// scheduler, so only the engine's liveness events and the medium's
+    /// fault injections appear in its trace. Tracing is observation only —
+    /// with the handle off this is byte-identical to the untraced run.
+    pub fn run_traced(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        faults: &FaultConfig,
+        tracer: domino_obs::TraceHandle,
+    ) -> RunStats {
         let mut engine: Engine<Ev<()>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
         let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
         if plane.cfg.enabled() {
             medium.set_faults(plane.medium);
         }
+        medium.set_tracer(tracer.clone());
         engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
+        engine.set_tracer(tracer);
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let contenders: Vec<NodeId> = (0..net.num_nodes() as u32).map(NodeId).collect();
         let mut csma = CsmaCore::new(net, &contenders, seed);

@@ -32,6 +32,7 @@ use crate::timing::{
 use crate::workload::{client_indices, DominoCounters, RunStats, Workload, WATCHDOG_STORM_THRESHOLD};
 use domino_faults::{FaultConfig, FaultPlane, NodeFaults};
 use domino_medium::{Burst, BurstMarker, Frame, FrameBody, Medium, TxId};
+use domino_obs::{FaultKind, TraceEvent, TraceHandle};
 use domino_scheduler::{
     BacklogView, BurstAssignment, Converter, ConverterConfig, RandScheduler, RelativeBatch,
 };
@@ -209,7 +210,23 @@ impl DominoSim {
         cfg: DominoConfig,
         faults: &FaultConfig,
     ) -> RunStats {
-        let mut world = World::new(net, workload, duration_s, seed, cfg, faults);
+        Self::run_traced(net, workload, duration_s, seed, cfg, faults, TraceHandle::off())
+    }
+
+    /// [`DominoSim::run_faulted`] with a trace sink attached. Tracing is
+    /// observation only — it draws no randomness and schedules no events,
+    /// so a run with the handle off is byte-identical to one that never
+    /// attached a tracer.
+    pub fn run_traced(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        cfg: DominoConfig,
+        faults: &FaultConfig,
+        tracer: TraceHandle,
+    ) -> RunStats {
+        let mut world = World::new(net, workload, duration_s, seed, cfg, faults, tracer);
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(duration_s);
         loop {
             let (now, ev) = match world.engine.pop_until_checked(horizon) {
@@ -282,6 +299,10 @@ struct World {
     /// Consecutive watchdog restarts with zero deliveries in between
     /// (storm detection, see `DominoCounters::watchdog_storms`).
     wd_streak: u64,
+    /// Observation-only trace sink (off by default).
+    tracer: TraceHandle,
+    /// Monotone batch id for BatchBegin/BatchEnd trace pairing.
+    batch_seq: u64,
 }
 
 impl World {
@@ -292,6 +313,7 @@ impl World {
         seed: u64,
         cfg: DominoConfig,
         faults: &FaultConfig,
+        tracer: TraceHandle,
     ) -> World {
         let geo = slot_geometry(net.phy().data_rate, workload.packet_bytes);
         let rop_dur = rop_slot_duration(net.phy().data_rate);
@@ -300,11 +322,14 @@ impl World {
         if plane.cfg.enabled() {
             medium.set_faults(plane.medium);
         }
+        medium.set_tracer(tracer.clone());
         let mut backbone = Backbone::new(cfg.wired.clone(), seed);
         backbone.set_loss(faults.wired_loss);
         backbone.set_spikes(faults.wired_spike, faults.wired_spike_us);
+        backbone.set_tracer(tracer.clone());
         let mut engine = Engine::new();
         engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
+        engine.set_tracer(tracer.clone());
         let fe = FlowEngine::new(net, workload, duration_s);
         for flow in fe.udp_flows() {
             engine.schedule_at(fe.udp_next_arrival(flow), DEv::UdpArrival { flow });
@@ -352,6 +377,8 @@ impl World {
             ap_crashed: vec![false; net.num_nodes()],
             last_rop: vec![0; net.links().len()],
             wd_streak: 0,
+            tracer,
+            batch_seq: 0,
             net: net.clone(),
             cfg,
         }
@@ -445,7 +472,17 @@ impl World {
         // below is deliberately NOT extended: overrunning it — the next
         // compute firing while the late batch is still in flight — is the
         // injected failure mode.
-        let stall = self.node_faults.compute_stall().unwrap_or(SimDuration::ZERO);
+        let stall = match self.node_faults.compute_stall() {
+            Some(d) => {
+                // The controller is not a radio node; u32::MAX marks it.
+                self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                    kind: FaultKind::ComputeStall,
+                    node: u32::MAX,
+                });
+                d
+            }
+            None => SimDuration::ZERO,
+        };
         self.dispatch_batch(now, &outcome.batch, stall);
 
         // Pacing: the next batch is computed when this batch's first ROP
@@ -477,6 +514,13 @@ impl World {
         let first_slot = self.next_slot_id;
         let retained_slot = first_slot.wrapping_sub(1);
         self.next_slot_id += batch.slots.len() as u64;
+        self.batch_seq += 1;
+        let batch_id = self.batch_seq;
+        self.tracer.emit(now.as_nanos(), || TraceEvent::BatchBegin {
+            batch: batch_id,
+            first_slot,
+            slots: batch.slots.len() as u32,
+        });
         let sigs = self.signature_of.clone();
 
         let burst_of = |assignments: &[BurstAssignment],
@@ -644,6 +688,10 @@ impl World {
             // unacked frame are gone; generation bumps retire every timer
             // the old incarnation armed. The AP rejoins lazily — the
             // first batch delivered after the downtime restarts it.
+            self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                kind: FaultKind::ApCrash,
+                node: ap as u32,
+            });
             let rt = &mut self.nodes[ap];
             rt.program.clear();
             rt.pending_start = false;
@@ -658,6 +706,10 @@ impl World {
         if self.ap_crashed[ap] {
             self.ap_crashed[ap] = false;
             self.node_faults.recovered();
+            self.tracer.emit(now.as_nanos(), || TraceEvent::FaultRecover {
+                kind: FaultKind::ApCrash,
+                node: ap as u32,
+            });
         }
         // Apply retained-slot burst updates to still-pending actions.
         for (slot, own, client) in msg.retained_updates {
@@ -757,6 +809,10 @@ impl World {
             (BurstMarker::Rop, false) => self.rop_dur + SLOT_TIME,
             (BurstMarker::Start, _) => SLOT_TIME,
         };
+        self.tracer.emit(now.as_nanos(), || TraceEvent::TriggerFire {
+            node: node as u32,
+            slot,
+        });
         self.schedule_start(now + delay, node, slot);
     }
 
@@ -959,6 +1015,11 @@ impl World {
             link,
             fake: packet.is_none(),
         });
+        self.tracer.emit(now.as_nanos(), || TraceEvent::SlotStart {
+            slot,
+            link: link.0,
+            fake: packet.is_none(),
+        });
         let (frame, airtime) = match packet {
             Some(p) => {
                 self.nodes[sender.index()].unacked = Some(p);
@@ -1006,6 +1067,7 @@ impl World {
         if self.medium.is_transmitting(ap) {
             return;
         }
+        self.tracer.emit(now.as_nanos(), || TraceEvent::RopPoll { ap: ap.0 });
         let frame = Frame { src: ap, body: FrameBody::Poll { ap }, bits: POLL_BYTES * 8 };
         let tx = self.medium.begin(now, frame);
         self.engine
@@ -1020,6 +1082,14 @@ impl World {
             let rx = r.rx.index();
             match &r.frame.body {
                 FrameBody::Data { packet, fake, client_burst } => {
+                    let l = *self.net.link(packet.link);
+                    let intended = if l.is_downlink() { l.client() } else { l.ap };
+                    if r.rx == intended {
+                        self.tracer.emit(now.as_nanos(), || TraceEvent::SlotEnd {
+                            link: packet.link.0,
+                            delivered: r.success && !*fake,
+                        });
+                    }
                     if !r.success {
                         continue;
                     }
@@ -1122,10 +1192,15 @@ impl World {
                     self.engine
                         .schedule_at(now + SLOT_TIME, DEv::RopAnswer { client: r.rx.0, ap: ap.0 });
                 }
-                FrameBody::RopReport { client, queue, .. } => {
+                FrameBody::RopReport { client, ap, queue } => {
                     if !r.success {
                         continue;
                     }
+                    self.tracer.emit(now.as_nanos(), || TraceEvent::RopReport {
+                        client: client.0,
+                        ap: ap.0,
+                        queue: *queue,
+                    });
                     let uplink = self
                         .net
                         .links()
@@ -1144,9 +1219,17 @@ impl World {
                 FrameBody::SignatureBurst(b) => {
                     if !r.success {
                         self.counters.triggers_failed += 1;
+                        self.tracer.emit(now.as_nanos(), || TraceEvent::SigMiss {
+                            node: r.rx.0,
+                            slot: b.slot,
+                        });
                         continue;
                     }
                     self.counters.triggers_detected += 1;
+                    self.tracer.emit(now.as_nanos(), || TraceEvent::SigDetect {
+                        node: r.rx.0,
+                        slot: b.slot,
+                    });
                     self.on_trigger(now, rx, b.marker, b.slot);
                 }
             }
@@ -1213,6 +1296,13 @@ impl World {
             bits: 0,
         };
         self.counters.bursts_sent += 1;
+        if let FrameBody::SignatureBurst(b) = &frame.body {
+            self.tracer.emit(now.as_nanos(), || TraceEvent::SigEmit {
+                node: node as u32,
+                slot: b.slot,
+                targets: b.targets.iter().map(|t| t.0).collect(),
+            });
+        }
         let tx = self.medium.begin(now, frame);
         self.engine
             .schedule_at(now + crate::timing::BURST_DURATION, DEv::TxEnd { tx });
@@ -1245,11 +1335,14 @@ impl World {
             self.fe.queue(link).rop_report() + u32::from(self.nodes[client].unacked.is_some());
         // Stale-report fault: the client replays the previous round's
         // value instead of the live queue state.
-        let queue = if self.node_faults.report_stale() {
-            self.last_rop[link.index()]
-        } else {
-            fresh
-        };
+        let stale = self.node_faults.report_stale();
+        if stale {
+            self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                kind: FaultKind::StaleRop,
+                node: client as u32,
+            });
+        }
+        let queue = if stale { self.last_rop[link.index()] } else { fresh };
         self.last_rop[link.index()] = fresh;
         let frame = Frame {
             src: NodeId(client as u32),
@@ -1389,6 +1482,9 @@ impl World {
                 let batch_age = now.saturating_since(self.dispatch_time);
                 if self.awaiting_report && batch_age >= SimDuration::from_micros(400) {
                     self.awaiting_report = false;
+                    let batch_id = self.batch_seq;
+                    self.tracer
+                        .emit(now.as_nanos(), move || TraceEvent::BatchEnd { batch: batch_id });
                     let lead = SimDuration::from_micros_f64(self.cfg.wired.mean_us)
                         + self.geo.total;
                     let at = (now + self.post_poll_exec.saturating_sub(lead))

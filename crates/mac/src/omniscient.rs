@@ -14,6 +14,7 @@ use crate::timing::{ack_airtime, data_airtime, SIFS};
 use crate::workload::{client_indices, RunStats, Workload};
 use domino_faults::{FaultConfig, FaultPlane};
 use domino_medium::{Frame, FrameBody, Medium};
+use domino_obs::{TraceEvent, TraceHandle};
 use domino_scheduler::RandScheduler;
 use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
@@ -47,13 +48,30 @@ impl OmniscientSim {
         seed: u64,
         faults: &FaultConfig,
     ) -> RunStats {
+        Self::run_traced(net, workload, duration_s, seed, faults, TraceHandle::off())
+    }
+
+    /// [`OmniscientSim::run_faulted`] with a trace sink attached. Tracing
+    /// is observation only — it draws no randomness and schedules no
+    /// events, so a run with the handle off is byte-identical to one that
+    /// never attached a tracer.
+    pub fn run_traced(
+        net: &Network,
+        workload: &Workload,
+        duration_s: f64,
+        seed: u64,
+        faults: &FaultConfig,
+        tracer: TraceHandle,
+    ) -> RunStats {
         let mut engine: Engine<Ev<OmniEv>> = Engine::new();
         let mut medium = Medium::new(net.clone(), seed);
         let plane = FaultPlane::new(faults, seed, &client_indices(net), duration_s);
         if plane.cfg.enabled() {
             medium.set_faults(plane.medium);
         }
+        medium.set_tracer(tracer.clone());
         engine.set_liveness(DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW);
+        engine.set_tracer(tracer.clone());
         let mut fe = FlowEngine::new(net, workload, duration_s);
         let graph = ConflictGraph::build_for_scheduling(net);
         let mut sched = RandScheduler::new(net.links().len());
@@ -62,6 +80,8 @@ impl OmniscientSim {
 
         // Fixed slot: data + SIFS + ack + SIFS turnaround.
         let slot = data_airtime(rate, workload.packet_bytes) + SIFS + ack_airtime(rate) + SIFS;
+        // Synchronized-slot index, for the trace only.
+        let mut slot_idx: u64 = 0;
 
         for flow in fe.udp_flows() {
             engine.schedule_at(fe.udp_next_arrival(flow), Ev::UdpArrival { flow });
@@ -104,9 +124,15 @@ impl OmniscientSim {
                         .map(|l| fe.queue(LinkId(l as u32)).len() as u32)
                         .collect();
                     let batch = sched.schedule_batch(&graph, &mut backlog, 1);
+                    slot_idx += 1;
                     if let Some(links) = batch.slots.first() {
                         let mut txs = Vec::new();
                         for &l in links {
+                            tracer.emit(now.as_nanos(), || TraceEvent::SlotStart {
+                                slot: slot_idx,
+                                link: l.0,
+                                fake: false,
+                            });
                             // lint: allow(D005) the scheduler only emits links whose live backlog was non-zero
                             let packet = fe.queue_mut(l).pop().expect("empty queue");
                             let airtime = data_airtime(rate, packet.payload_bytes);
@@ -128,6 +154,14 @@ impl OmniscientSim {
                     let receptions = medium.end(tx, now);
                     for r in &receptions {
                         if let FrameBody::Data { packet, .. } = &r.frame.body {
+                            let l = *net.link(packet.link);
+                            let intended = if l.is_downlink() { l.client() } else { l.ap };
+                            if r.rx == intended {
+                                tracer.emit(now.as_nanos(), || TraceEvent::SlotEnd {
+                                    link: packet.link.0,
+                                    delivered: r.success,
+                                });
+                            }
                             if r.success {
                                 fe.deliver(packet, now);
                             } else {

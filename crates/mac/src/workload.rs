@@ -1,6 +1,7 @@
 //! Workload specification and per-run statistics.
 
 use domino_faults::FaultStats;
+use domino_obs::MetricsRegistry;
 use domino_stats::{jain_index, DelayMeter};
 use domino_topology::{Direction, LinkId, Network};
 use domino_traffic::TcpConfig;
@@ -126,10 +127,12 @@ pub struct RunStats {
     pub events: u64,
     /// Transport-layer (TCP) retransmissions across all flows.
     pub tcp_retransmissions: u64,
-    /// DOMINO only: one record per slot transmission, for the Fig 10
-    /// timeline and the Fig 11 misalignment analysis.
+    /// Populated by DOMINO only: one record per slot transmission, for
+    /// the Fig 10 timeline and the Fig 11 misalignment analysis (empty
+    /// for the other MACs).
     pub slot_starts: Vec<SlotStartRecord>,
-    /// DOMINO only: trigger-chain diagnostics (all zero for other MACs).
+    /// Populated by DOMINO only: trigger-chain diagnostics (all zero for
+    /// the other MACs).
     pub domino: DominoCounters,
     /// Fault-plane injection and recovery counters (all zero when the
     /// fault plane is off).
@@ -234,6 +237,38 @@ impl RunStats {
         } else {
             means.iter().sum::<f64>() / means.len() as f64
         }
+    }
+
+    /// Project every counter onto a metrics registry under stable dotted
+    /// names (`mac.*`, `domino.*`, `faults.*`). The names are part of the
+    /// output contract: `domino-run` manifests and trace tooling key on
+    /// them, so renames are breaking changes. The registry iterates in
+    /// sorted name order, making renders byte-stable across runs.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("mac.delivered_bits", self.delivered_bits.iter().sum());
+        reg.counter_add("mac.events", self.events);
+        reg.counter_add("mac.drops", self.drops);
+        reg.counter_add("mac.retries", self.retries);
+        reg.counter_add("mac.ack_timeouts", self.ack_timeouts);
+        reg.counter_add("mac.tcp_retransmissions", self.tcp_retransmissions);
+        reg.counter_add("mac.slot_starts", self.slot_starts.len() as u64);
+        let d = &self.domino;
+        reg.counter_add("domino.bursts_sent", d.bursts_sent);
+        reg.counter_add("domino.triggers_detected", d.triggers_detected);
+        reg.counter_add("domino.triggers_failed", d.triggers_failed);
+        reg.counter_add("domino.stale_triggers", d.stale_triggers);
+        reg.counter_add("domino.client_transmissions", d.client_transmissions);
+        reg.counter_add("domino.watchdog_restarts", d.watchdog_restarts);
+        reg.counter_add("domino.kick_offs", d.kick_offs);
+        reg.counter_add("domino.actions_shed", d.actions_shed);
+        reg.counter_add("domino.actions_dispatched", d.actions_dispatched);
+        reg.counter_add("domino.watchdog_storms", d.watchdog_storms);
+        for (name, value) in self.faults.classes() {
+            reg.counter_add(&format!("faults.{name}"), value);
+        }
+        reg.gauge_set("mac.aggregate_mbps", self.aggregate_mbps());
+        reg
     }
 
     /// Fig 11 metric: maximum pairwise start misalignment per absolute

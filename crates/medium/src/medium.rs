@@ -12,6 +12,7 @@
 use crate::frames::{Frame, FrameBody};
 use crate::signatures::{rop_decode_probability, signature_detection_probability};
 use domino_faults::MediumFaults;
+use domino_obs::{FaultKind, TraceEvent, TraceHandle};
 use domino_phy::units::Dbm;
 use domino_sim::rng::streams;
 use domino_sim::{SimRng, SimTime};
@@ -84,6 +85,7 @@ pub struct Medium {
     /// `None` (the default) costs nothing and draws nothing, so fault-free
     /// runs adjudicate byte-identically to a plane-free build.
     faults: Option<MediumFaults>,
+    tracer: TraceHandle,
 }
 
 impl Medium {
@@ -103,7 +105,16 @@ impl Medium {
             counters: MediumCounters::default(),
             rop_peaks: Vec::new(),
             faults: None,
+            tracer: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace sink. Observation only — attaching never changes
+    /// adjudication or RNG state; the medium emits
+    /// [`TraceEvent::FaultInject`] when an installed fault class (churn,
+    /// fade, ROP corruption) actually fires.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Install the channel- and churn-class fault sources. Fade and
@@ -305,9 +316,13 @@ impl Medium {
         // Churned-dark endpoints: a departed client neither transmits
         // usefully nor receives; either end dark fails the reception.
         if let Some(f) = &mut self.faults {
-            if f.churn.check_dark(src.index() as u32, now)
-                || f.churn.check_dark(rx.index() as u32, now)
-            {
+            let src_dark = f.churn.check_dark(src.index() as u32, now);
+            if src_dark || f.churn.check_dark(rx.index() as u32, now) {
+                let node = if src_dark { src.0 } else { rx.0 };
+                self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                    kind: FaultKind::ChurnDrop,
+                    node,
+                });
                 return fail(f64::NEG_INFINITY);
             }
         }
@@ -351,6 +366,10 @@ impl Medium {
                         // the AP discards it, same as a decode failure.
                         if f.channel.rop_corrupts() {
                             ok = false;
+                            self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                                kind: FaultKind::RopCorrupt,
+                                node: client.0,
+                            });
                         }
                     }
                 }
@@ -365,6 +384,10 @@ impl Medium {
                         // fade_len − 1 would-be detections.
                         if f.channel.fade_suppresses() {
                             ok = false;
+                            self.tracer.emit(now.as_nanos(), || TraceEvent::FaultInject {
+                                kind: FaultKind::Fade,
+                                node: rx.0,
+                            });
                         }
                     }
                 }

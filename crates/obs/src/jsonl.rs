@@ -1,0 +1,626 @@
+//! The versioned JSONL trace format.
+//!
+//! One JSON object per line: a header identifying the schema and the
+//! run, then one flat object per event. Hand-rolled writer and parser —
+//! the workspace is hermetic (no serde); the event objects are flat
+//! (string / integer / bool / integer-array values only), so a minimal
+//! scanner suffices. Writer output is byte-stable: field order is fixed
+//! per event kind.
+//!
+//! Schema evolution policy: `v` bumps on any breaking change (renamed
+//! events, retyped fields); *adding* an event kind or a field is
+//! non-breaking and keeps the version. Readers reject headers whose
+//! `schema` or `v` they do not know.
+
+use crate::event::{FaultKind, TraceEvent};
+use crate::tracer::TraceRecord;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema identifier carried by every trace header.
+pub const SCHEMA_NAME: &str = "domino-trace";
+
+/// Current schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Run identity carried by the trace header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Experiment name (registry key), e.g. `fig10_timeline`.
+    pub experiment: String,
+    /// Scheme that produced the events, e.g. `domino`.
+    pub scheme: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Scale label, e.g. `quick`.
+    pub scale: String,
+}
+
+/// A trace parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, msg: msg.into() })
+}
+
+// ---------------------------------------------------------------- writer
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_u64(out: &mut String, key: &str, v: u64) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn push_field_bool(out: &mut String, key: &str, v: bool) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if v { "true" } else { "false" });
+}
+
+fn push_field_str(out: &mut String, key: &str, v: &str) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    push_str_escaped(out, v);
+}
+
+fn push_field_arr(out: &mut String, key: &str, vs: &[u32]) {
+    out.push(',');
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Render the header line for `meta`.
+pub fn write_header(meta: &TraceMeta) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    push_str_escaped(&mut out, SCHEMA_NAME);
+    push_field_u64(&mut out, "v", SCHEMA_VERSION);
+    push_field_str(&mut out, "experiment", &meta.experiment);
+    push_field_str(&mut out, "scheme", &meta.scheme);
+    push_field_u64(&mut out, "seed", meta.seed);
+    push_field_str(&mut out, "scale", &meta.scale);
+    out.push('}');
+    out
+}
+
+/// Render one event line.
+pub fn write_record(rec: &TraceRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\"t\":");
+    out.push_str(&rec.t_ns.to_string());
+    push_field_str(&mut out, "ev", rec.ev.name());
+    match &rec.ev {
+        TraceEvent::SlotStart { slot, link, fake } => {
+            push_field_u64(&mut out, "slot", *slot);
+            push_field_u64(&mut out, "link", u64::from(*link));
+            push_field_bool(&mut out, "fake", *fake);
+        }
+        TraceEvent::SlotEnd { link, delivered } => {
+            push_field_u64(&mut out, "link", u64::from(*link));
+            push_field_bool(&mut out, "delivered", *delivered);
+        }
+        TraceEvent::SigEmit { node, slot, targets } => {
+            push_field_u64(&mut out, "node", u64::from(*node));
+            push_field_u64(&mut out, "slot", *slot);
+            push_field_arr(&mut out, "targets", targets);
+        }
+        TraceEvent::SigDetect { node, slot } | TraceEvent::SigMiss { node, slot } => {
+            push_field_u64(&mut out, "node", u64::from(*node));
+            push_field_u64(&mut out, "slot", *slot);
+        }
+        TraceEvent::TriggerFire { node, slot } => {
+            push_field_u64(&mut out, "node", u64::from(*node));
+            push_field_u64(&mut out, "slot", *slot);
+        }
+        TraceEvent::RopPoll { ap } => {
+            push_field_u64(&mut out, "ap", u64::from(*ap));
+        }
+        TraceEvent::RopReport { client, ap, queue } => {
+            push_field_u64(&mut out, "client", u64::from(*client));
+            push_field_u64(&mut out, "ap", u64::from(*ap));
+            push_field_u64(&mut out, "queue", u64::from(*queue));
+        }
+        TraceEvent::BatchBegin { batch, first_slot, slots } => {
+            push_field_u64(&mut out, "batch", *batch);
+            push_field_u64(&mut out, "first_slot", *first_slot);
+            push_field_u64(&mut out, "slots", u64::from(*slots));
+        }
+        TraceEvent::BatchEnd { batch } => {
+            push_field_u64(&mut out, "batch", *batch);
+        }
+        TraceEvent::EpochBarrier { epoch, pending } => {
+            push_field_u64(&mut out, "epoch", *epoch);
+            push_field_u64(&mut out, "pending", u64::from(*pending));
+        }
+        TraceEvent::BackboneSend { delay_ns, spiked } => {
+            push_field_u64(&mut out, "delay_ns", *delay_ns);
+            push_field_bool(&mut out, "spiked", *spiked);
+        }
+        TraceEvent::BackboneDrop => {}
+        TraceEvent::FaultInject { kind, node } | TraceEvent::FaultRecover { kind, node } => {
+            push_field_str(&mut out, "kind", kind.name());
+            push_field_u64(&mut out, "node", u64::from(*node));
+        }
+        TraceEvent::LivelockCheck { events_in_window } => {
+            push_field_u64(&mut out, "events", *events_in_window);
+        }
+        TraceEvent::Livelock { events_in_window, budget } => {
+            push_field_u64(&mut out, "events", *events_in_window);
+            push_field_u64(&mut out, "budget", *budget);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render a full trace: header line plus one line per record.
+pub fn write_trace(meta: &TraceMeta, records: &[TraceRecord]) -> String {
+    let mut out = write_header(meta);
+    out.push('\n');
+    for rec in records {
+        out.push_str(&write_record(rec));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------- parser
+
+/// A parsed flat JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Arr(Vec<u64>),
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str, line: usize) -> Scanner<'a> {
+        Scanner { bytes: s.as_bytes(), pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            other => err(
+                self.line,
+                format!("expected '{}', found {:?}", want as char, other.map(|b| b as char)),
+            ),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    other => {
+                        return err(self.line, format!("bad escape {:?}", other.map(|b| b as char)))
+                    }
+                },
+                Some(b) => out.push(b as char),
+                None => return err(self.line, "unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return err(self.line, "expected a number");
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { line: self.line, msg: "non-utf8 number".into() })?;
+        digits
+            .parse::<u64>()
+            .map_err(|e| ParseError { line: self.line, msg: format!("bad number: {e}") })
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'0'..=b'9') => Ok(Val::Num(self.number()?)),
+            Some(b't') => {
+                if self.bytes[self.pos..].starts_with(b"true") {
+                    self.pos += 4;
+                    Ok(Val::Bool(true))
+                } else {
+                    err(self.line, "bad literal")
+                }
+            }
+            Some(b'f') => {
+                if self.bytes[self.pos..].starts_with(b"false") {
+                    self.pos += 5;
+                    Ok(Val::Bool(false))
+                } else {
+                    err(self.line, "bad literal")
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                loop {
+                    items.push(self.number()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Val::Arr(items)),
+                        other => {
+                            return err(
+                                self.line,
+                                format!("bad array separator {:?}", other.map(|b| b as char)),
+                            )
+                        }
+                    }
+                }
+            }
+            other => err(self.line, format!("unexpected value start {:?}", other.map(|b| b as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Val>, ParseError> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect_byte(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(map),
+                other => {
+                    return err(
+                        self.line,
+                        format!("bad object separator {:?}", other.map(|b| b as char)),
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn get_num(map: &BTreeMap<String, Val>, key: &str, line: usize) -> Result<u64, ParseError> {
+    match map.get(key) {
+        Some(Val::Num(n)) => Ok(*n),
+        _ => err(line, format!("missing numeric field '{key}'")),
+    }
+}
+
+fn get_u32(map: &BTreeMap<String, Val>, key: &str, line: usize) -> Result<u32, ParseError> {
+    u32::try_from(get_num(map, key, line)?)
+        .map_err(|_| ParseError { line, msg: format!("field '{key}' exceeds u32") })
+}
+
+fn get_str<'m>(
+    map: &'m BTreeMap<String, Val>,
+    key: &str,
+    line: usize,
+) -> Result<&'m str, ParseError> {
+    match map.get(key) {
+        Some(Val::Str(s)) => Ok(s.as_str()),
+        _ => err(line, format!("missing string field '{key}'")),
+    }
+}
+
+fn get_bool(map: &BTreeMap<String, Val>, key: &str, line: usize) -> Result<bool, ParseError> {
+    match map.get(key) {
+        Some(Val::Bool(b)) => Ok(*b),
+        _ => err(line, format!("missing boolean field '{key}'")),
+    }
+}
+
+fn get_arr_u32(
+    map: &BTreeMap<String, Val>,
+    key: &str,
+    line: usize,
+) -> Result<Vec<u32>, ParseError> {
+    match map.get(key) {
+        Some(Val::Arr(vs)) => vs
+            .iter()
+            .map(|&v| {
+                u32::try_from(v)
+                    .map_err(|_| ParseError { line, msg: format!("'{key}' item exceeds u32") })
+            })
+            .collect(),
+        _ => err(line, format!("missing array field '{key}'")),
+    }
+}
+
+fn get_fault_kind(
+    map: &BTreeMap<String, Val>,
+    line: usize,
+) -> Result<FaultKind, ParseError> {
+    let name = get_str(map, "kind", line)?;
+    FaultKind::from_name(name)
+        .ok_or_else(|| ParseError { line, msg: format!("unknown fault kind '{name}'") })
+}
+
+/// Parse one header line.
+pub fn parse_header(text: &str, line: usize) -> Result<TraceMeta, ParseError> {
+    let map = Scanner::new(text, line).object()?;
+    let schema = get_str(&map, "schema", line)?;
+    if schema != SCHEMA_NAME {
+        return err(line, format!("unknown schema '{schema}'"));
+    }
+    let v = get_num(&map, "v", line)?;
+    if v != SCHEMA_VERSION {
+        return err(line, format!("unsupported schema version {v} (reader knows {SCHEMA_VERSION})"));
+    }
+    Ok(TraceMeta {
+        experiment: get_str(&map, "experiment", line)?.to_owned(),
+        scheme: get_str(&map, "scheme", line)?.to_owned(),
+        seed: get_num(&map, "seed", line)?,
+        scale: get_str(&map, "scale", line)?.to_owned(),
+    })
+}
+
+/// Parse one event line.
+pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ParseError> {
+    let map = Scanner::new(text, line).object()?;
+    let t_ns = get_num(&map, "t", line)?;
+    let name = get_str(&map, "ev", line)?;
+    let ev = match name {
+        "slot_start" => TraceEvent::SlotStart {
+            slot: get_num(&map, "slot", line)?,
+            link: get_u32(&map, "link", line)?,
+            fake: get_bool(&map, "fake", line)?,
+        },
+        "slot_end" => TraceEvent::SlotEnd {
+            link: get_u32(&map, "link", line)?,
+            delivered: get_bool(&map, "delivered", line)?,
+        },
+        "sig_emit" => TraceEvent::SigEmit {
+            node: get_u32(&map, "node", line)?,
+            slot: get_num(&map, "slot", line)?,
+            targets: get_arr_u32(&map, "targets", line)?,
+        },
+        "sig_detect" => TraceEvent::SigDetect {
+            node: get_u32(&map, "node", line)?,
+            slot: get_num(&map, "slot", line)?,
+        },
+        "sig_miss" => TraceEvent::SigMiss {
+            node: get_u32(&map, "node", line)?,
+            slot: get_num(&map, "slot", line)?,
+        },
+        "trigger_fire" => TraceEvent::TriggerFire {
+            node: get_u32(&map, "node", line)?,
+            slot: get_num(&map, "slot", line)?,
+        },
+        "rop_poll" => TraceEvent::RopPoll { ap: get_u32(&map, "ap", line)? },
+        "rop_report" => TraceEvent::RopReport {
+            client: get_u32(&map, "client", line)?,
+            ap: get_u32(&map, "ap", line)?,
+            queue: get_u32(&map, "queue", line)?,
+        },
+        "batch_begin" => TraceEvent::BatchBegin {
+            batch: get_num(&map, "batch", line)?,
+            first_slot: get_num(&map, "first_slot", line)?,
+            slots: get_u32(&map, "slots", line)?,
+        },
+        "batch_end" => TraceEvent::BatchEnd { batch: get_num(&map, "batch", line)? },
+        "epoch_barrier" => TraceEvent::EpochBarrier {
+            epoch: get_num(&map, "epoch", line)?,
+            pending: get_u32(&map, "pending", line)?,
+        },
+        "backbone_send" => TraceEvent::BackboneSend {
+            delay_ns: get_num(&map, "delay_ns", line)?,
+            spiked: get_bool(&map, "spiked", line)?,
+        },
+        "backbone_drop" => TraceEvent::BackboneDrop,
+        "fault_inject" => TraceEvent::FaultInject {
+            kind: get_fault_kind(&map, line)?,
+            node: get_u32(&map, "node", line)?,
+        },
+        "fault_recover" => TraceEvent::FaultRecover {
+            kind: get_fault_kind(&map, line)?,
+            node: get_u32(&map, "node", line)?,
+        },
+        "livelock_check" => TraceEvent::LivelockCheck {
+            events_in_window: get_num(&map, "events", line)?,
+        },
+        "livelock" => TraceEvent::Livelock {
+            events_in_window: get_num(&map, "events", line)?,
+            budget: get_num(&map, "budget", line)?,
+        },
+        other => return err(line, format!("unknown event '{other}'")),
+    };
+    Ok(TraceRecord { t_ns, ev })
+}
+
+/// Parse a full trace (header + events). Blank lines are ignored.
+pub fn parse_trace(text: &str) -> Result<(TraceMeta, Vec<TraceRecord>), ParseError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (i, header) = match lines.next() {
+        Some(pair) => pair,
+        None => return err(0, "empty trace"),
+    };
+    let meta = parse_header(header, i + 1)?;
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        records.push(parse_record(line, i + 1)?);
+    }
+    Ok((meta, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord { t_ns: 0, ev: TraceEvent::BatchBegin { batch: 1, first_slot: 0, slots: 4 } },
+            TraceRecord {
+                t_ns: 120,
+                ev: TraceEvent::SigEmit { node: 2, slot: 0, targets: vec![1, 3] },
+            },
+            TraceRecord { t_ns: 150, ev: TraceEvent::SigDetect { node: 1, slot: 0 } },
+            TraceRecord { t_ns: 150, ev: TraceEvent::SigMiss { node: 3, slot: 0 } },
+            TraceRecord { t_ns: 200, ev: TraceEvent::SlotStart { slot: 0, link: 5, fake: false } },
+            TraceRecord { t_ns: 400, ev: TraceEvent::SlotEnd { link: 5, delivered: true } },
+            TraceRecord { t_ns: 500, ev: TraceEvent::BackboneSend { delay_ns: 285_000, spiked: true } },
+            TraceRecord { t_ns: 510, ev: TraceEvent::BackboneDrop },
+            TraceRecord {
+                t_ns: 600,
+                ev: TraceEvent::FaultInject { kind: FaultKind::ApCrash, node: 4 },
+            },
+            TraceRecord {
+                t_ns: 900,
+                ev: TraceEvent::FaultRecover { kind: FaultKind::ApCrash, node: 4 },
+            },
+            TraceRecord { t_ns: 950, ev: TraceEvent::RopPoll { ap: 0 } },
+            TraceRecord { t_ns: 960, ev: TraceEvent::RopReport { client: 1, ap: 0, queue: 9 } },
+            TraceRecord { t_ns: 970, ev: TraceEvent::TriggerFire { node: 1, slot: 2 } },
+            TraceRecord { t_ns: 980, ev: TraceEvent::EpochBarrier { epoch: 3, pending: 0 } },
+            TraceRecord { t_ns: 990, ev: TraceEvent::BatchEnd { batch: 1 } },
+            TraceRecord { t_ns: 995, ev: TraceEvent::LivelockCheck { events_in_window: 12 } },
+            TraceRecord {
+                t_ns: 999,
+                ev: TraceEvent::Livelock { events_in_window: 5_000_001, budget: 5_000_000 },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_event_kind() {
+        let meta = TraceMeta {
+            experiment: "fig10_timeline".into(),
+            scheme: "domino".into(),
+            seed: 0xD0311,
+            scale: "quick".into(),
+        };
+        let text = write_trace(&meta, &sample_records());
+        let (meta2, recs2) = parse_trace(&text).expect("round trip");
+        assert_eq!(meta, meta2);
+        assert_eq!(sample_records(), recs2);
+    }
+
+    #[test]
+    fn writer_is_byte_stable() {
+        let meta = TraceMeta {
+            experiment: "x".into(),
+            scheme: "dcf".into(),
+            seed: 1,
+            scale: "full".into(),
+        };
+        assert_eq!(write_trace(&meta, &sample_records()), write_trace(&meta, &sample_records()));
+    }
+
+    #[test]
+    fn rejects_unknown_schema_and_version() {
+        let bad = "{\"schema\":\"other\",\"v\":1,\"experiment\":\"x\",\"scheme\":\"s\",\"seed\":1,\"scale\":\"q\"}";
+        assert!(parse_header(bad, 1).is_err());
+        let future = "{\"schema\":\"domino-trace\",\"v\":99,\"experiment\":\"x\",\"scheme\":\"s\",\"seed\":1,\"scale\":\"q\"}";
+        assert!(parse_header(future, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_record("{\"t\":1}", 1).is_err(), "missing ev");
+        assert!(parse_record("{\"t\":1,\"ev\":\"mystery\"}", 1).is_err(), "unknown event");
+        assert!(parse_record("{\"t\":1,\"ev\":\"rop_poll\"}", 1).is_err(), "missing field");
+        assert!(parse_record("not json", 1).is_err());
+        assert!(parse_trace("").is_err(), "empty trace");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let meta = TraceMeta {
+            experiment: "we\"ird\\name".into(),
+            scheme: "domino".into(),
+            seed: 7,
+            scale: "q".into(),
+        };
+        let parsed = parse_header(&write_header(&meta), 1).expect("escapes");
+        assert_eq!(parsed, meta);
+    }
+}

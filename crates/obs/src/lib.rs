@@ -1,0 +1,32 @@
+//! domino-obs: the deterministic observability plane.
+//!
+//! The repro's hardest claims are temporal — trigger chains fire inside
+//! a detection window, epochs stall on a barrier, chaos runs recover
+//! from crashes — but scalar end-of-run counters cannot show *when*
+//! anything happened. This crate adds the missing layer:
+//!
+//! * [`TraceEvent`] / [`Tracer`] / [`TraceHandle`] — structured,
+//!   sim-time-stamped events threaded through the engine, the medium,
+//!   the wired backbone and every MAC. The determinism contract is
+//!   absolute: a disabled handle makes **zero RNG draws and zero
+//!   allocations**, so committed goldens stay byte-identical whether or
+//!   not the instrumentation is compiled in or switched on.
+//! * [`MetricsRegistry`] — counters/gauges/histograms with stable names
+//!   and sorted iteration, the structured face of `RunStats`.
+//! * [`jsonl`] — a versioned JSONL trace format (hand-rolled; the
+//!   workspace is hermetic) written by `domino-run --trace` and read by
+//!   the `domino-trace` CLI.
+//! * [`analysis`] — trigger-chain reconstruction against the paper's
+//!   ≤2-inbound/≤4-outbound degree limits, slot timelines, fault
+//!   timelines (injection→recovery latency), and trace diffing.
+
+pub mod analysis;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{FaultKind, TraceEvent};
+pub use jsonl::{TraceMeta, SCHEMA_NAME, SCHEMA_VERSION};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use tracer::{MemTracer, NoopTracer, TraceHandle, TraceRecord, Tracer};

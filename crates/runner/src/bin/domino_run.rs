@@ -9,17 +9,24 @@
 //!   --check        byte-diff regenerated output against results/ instead
 //!                  of writing; exit 1 on any mismatch
 //!   --json <path>  write a JSON manifest with per-shard wall times
+//!   --trace <dir>  also write each selected experiment's designated
+//!                  JSONL event trace to <dir>/<name>.jsonl (experiments
+//!                  without one are skipped); analyze with `domino-trace`
 //!   --out <dir>    results directory (default: ./results, falling back
 //!                  to the directory committed next to the workspace)
 //!   --list         list registered experiments and exit
 //! ```
 //!
 //! Output text is a pure function of `(experiment, scale, seed)`; the
-//! jobs count and shard completion order never change a byte.
+//! jobs count and shard completion order never change a byte. Tracing is
+//! observation-only: `--trace` never changes the rendered results.
 
 use domino_runner::registry::{self, Experiment, REGISTRY};
 use domino_runner::scale::Scale;
-use domino_runner::{check_against, pool, render_manifest, run_experiment, CheckStatus};
+use domino_runner::{
+    check_against, pool, render_list, render_manifest, render_progress, render_summary,
+    run_experiment, CheckStatus,
+};
 use domino_testkit::bench::Stopwatch;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,12 +38,14 @@ struct Cli {
     jobs: usize,
     check: bool,
     json: Option<PathBuf>,
+    trace: Option<PathBuf>,
     out: Option<PathBuf>,
     list: bool,
 }
 
 const USAGE: &str = "usage: domino-run [all | <experiment>...] \
-[--full] [--seed <n>] [--jobs <n>] [--check] [--json <path>] [--out <dir>] [--list]";
+[--full] [--seed <n>] [--jobs <n>] [--check] [--json <path>] [--trace <dir>] \
+[--out <dir>] [--list]";
 
 fn parse(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -46,6 +55,7 @@ fn parse(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         jobs: pool::default_jobs(),
         check: false,
         json: None,
+        trace: None,
         out: None,
         list: false,
     };
@@ -68,6 +78,7 @@ fn parse(argv: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             }
             "--check" => cli.check = true,
             "--json" => cli.json = Some(it.next().ok_or("--json needs a path")?.into()),
+            "--trace" => cli.trace = Some(it.next().ok_or("--trace needs a directory")?.into()),
             "--out" => cli.out = Some(it.next().ok_or("--out needs a directory")?.into()),
             "--list" => cli.list = true,
             "--help" | "-h" => return Err(String::new()),
@@ -120,9 +131,7 @@ fn main() -> ExitCode {
         }
     };
     if cli.list {
-        for e in &REGISTRY {
-            println!("{:<28} {}", e.name, e.title);
-        }
+        print!("{}", render_list());
         return ExitCode::SUCCESS;
     }
     let selected = match select(&cli.names) {
@@ -136,6 +145,12 @@ fn main() -> ExitCode {
     if !cli.check {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(trace_dir) = &cli.trace {
+        if let Err(e) = std::fs::create_dir_all(trace_dir) {
+            eprintln!("cannot create {}: {e}", trace_dir.display());
             return ExitCode::FAILURE;
         }
     }
@@ -168,13 +183,18 @@ fn main() -> ExitCode {
                 }
             }
         };
-        println!(
-            "{:<28} {:>9.1} ms  {:>3} shard{}  {verdict}",
-            run.name,
-            run.elapsed_ns as f64 / 1e6,
-            run.shard_ns.len(),
-            if run.shard_ns.len() == 1 { " " } else { "s" },
-        );
+        println!("{}", render_progress(&run, &verdict));
+        if let Some(trace_dir) = &cli.trace {
+            if let Some(render_trace) = exp.trace {
+                let path = trace_dir.join(format!("{}.jsonl", exp.name));
+                let jsonl = render_trace(cli.scale, cli.seed);
+                if let Err(e) = std::fs::write(&path, jsonl) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("trace: {}", path.display());
+            }
+        }
         runs.push(run);
     }
     let wall_ns = total.elapsed_ns();
@@ -189,13 +209,7 @@ fn main() -> ExitCode {
         println!("manifest: {}", path.display());
     }
 
-    println!(
-        "{} experiment{} in {:.1} s (jobs={})",
-        runs.len(),
-        if runs.len() == 1 { "" } else { "s" },
-        wall_ns as f64 / 1e9,
-        cli.jobs,
-    );
+    println!("{}", render_summary(runs.len(), wall_ns, cli.jobs));
     if mismatches > 0 {
         eprintln!("{mismatches} experiment(s) differ from {}", dir.display());
         return ExitCode::FAILURE;

@@ -10,9 +10,11 @@
 //! scheme ever trips the engine's liveness monitor.
 
 use super::util::{mbps, push_block};
-use crate::plan::Plan;
+use crate::plan::{Plan, RunDigest};
 use crate::scale::Scale;
-use domino_core::{scenarios, FaultConfig, Scheme, SimulationBuilder};
+use domino_core::{scenarios, FaultConfig, FaultStats, Scheme, SimulationBuilder};
+use domino_obs::jsonl::{self, TraceMeta};
+use domino_obs::TraceHandle;
 use domino_stats::Table;
 
 /// Registry key.
@@ -24,10 +26,7 @@ struct Cell {
     tput: f64,
     delay_ms: f64,
     fairness: f64,
-    injections: u64,
-    crashes: u64,
-    recoveries: u64,
-    livelocks: u64,
+    faults: FaultStats,
     watchdog_storms: u64,
 }
 
@@ -52,22 +51,18 @@ pub fn plan(scale: Scale, seed: u64) -> Plan {
                     .seed(seed)
                     .faults(faults)
                     .run(scheme);
-                let f = &r.stats.faults;
                 Cell {
                     tput: r.aggregate_mbps(),
                     delay_ms: r.mean_delay_us() / 1000.0,
                     fairness: r.fairness(),
-                    injections: f.injections(),
-                    crashes: f.ap_crashes,
-                    recoveries: f.crash_recoveries,
-                    livelocks: f.livelocks,
+                    faults: r.stats.faults,
                     watchdog_storms: r.stats.domino.watchdog_storms,
                 }
             }));
         }
     }
 
-    Plan::new(shards, move |outs: Vec<Cell>| {
+    Plan::new_digested(shards, move |outs: Vec<Cell>| {
         // Cells arrive intensity-major, scheme-minor (Scheme::ALL order).
         let rows: Vec<&[Cell]> = outs.chunks(Scheme::ALL.len()).collect();
         let labels: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
@@ -101,15 +96,25 @@ pub fn plan(scale: Scale, seed: u64) -> Plan {
             let d = &cells[2]; // Scheme::ALL[2] == Domino
             ledger.row(&[
                 label,
-                d.injections.to_string(),
-                d.crashes.to_string(),
-                d.recoveries.to_string(),
+                d.faults.injections().to_string(),
+                d.faults.ap_crashes.to_string(),
+                d.faults.crash_recoveries.to_string(),
                 d.watchdog_storms.to_string(),
-                d.livelocks.to_string(),
+                d.faults.livelocks.to_string(),
             ]);
         }
 
-        let total_livelocks: u64 = outs.iter().map(|c| c.livelocks).sum();
+        // The digest sums every cell (all schemes, all intensities), so
+        // the --json manifest reflects the whole grid's fault exposure.
+        let mut digest = RunDigest::default();
+        for c in &outs {
+            digest.merge(&RunDigest {
+                livelocks: c.faults.livelocks,
+                watchdog_storms: c.watchdog_storms,
+                fault_classes: c.faults.classes().to_vec(),
+            });
+        }
+
         let mut out = String::new();
         push_block(&mut out, &tput.render());
         push_block(&mut out, &delay.render());
@@ -117,8 +122,30 @@ pub fn plan(scale: Scale, seed: u64) -> Plan {
         push_block(&mut out, &ledger.render());
         out.push_str(&format!(
             "liveness: {} run(s) aborted by the engine monitor (gate: 0)\n",
-            total_livelocks
+            digest.livelocks
         ));
-        out
+        (out, digest)
     })
+}
+
+/// Render the designated trace of this experiment (`domino-run --trace`):
+/// one DOMINO run on the same T(6,2) network and seed at full chaos
+/// intensity (1.0), serialized as versioned JSONL. This is the trace the
+/// EXPERIMENTS.md walkthrough dissects with `domino-trace`.
+pub fn trace(scale: Scale, seed: u64) -> String {
+    let (handle, sink) = TraceHandle::mem();
+    let net = scenarios::standard_t(6, 2, seed);
+    let _ = SimulationBuilder::new(net)
+        .udp(8e6, 2e6)
+        .duration_s(scale.duration(2.0))
+        .seed(seed)
+        .faults(FaultConfig::chaos(1.0))
+        .run_traced(Scheme::Domino, handle);
+    let meta = TraceMeta {
+        experiment: NAME.to_string(),
+        scheme: "domino".to_string(),
+        seed,
+        scale: scale.name().to_string(),
+    };
+    jsonl::write_trace(&meta, &sink.take())
 }

@@ -9,11 +9,35 @@ use super::util::outln;
 use crate::plan::Plan;
 use crate::scale::Scale;
 use domino_core::{scenarios, Scheme, SimulationBuilder};
+use domino_obs::jsonl::{self, TraceMeta};
+use domino_obs::TraceHandle;
 
 /// Registry key.
 pub const NAME: &str = "fig10_timeline";
 /// Output file under `results/`.
 pub const OUTPUT: &str = "fig10_timeline.txt";
+
+/// Render the designated trace of this experiment (`domino-run --trace`):
+/// the same single DOMINO run as [`plan`], with a memory sink attached,
+/// serialized as versioned JSONL. The run itself is unperturbed — tracing
+/// is observation-only, so the rendered `results/` text stays
+/// byte-identical whether or not a trace is being captured.
+pub fn trace(scale: Scale, seed: u64) -> String {
+    let (handle, sink) = TraceHandle::mem();
+    let net = scenarios::fig7();
+    let _ = SimulationBuilder::new(net)
+        .udp(10e6, 10e6)
+        .duration_s(scale.duration(0.2))
+        .seed(seed)
+        .run_traced(Scheme::Domino, handle);
+    let meta = TraceMeta {
+        experiment: NAME.to_string(),
+        scheme: "domino".to_string(),
+        seed,
+        scale: scale.name().to_string(),
+    };
+    jsonl::write_trace(&meta, &sink.take())
+}
 
 /// Build the plan: a single shard (one 0.2 s quick-scale simulation).
 pub fn plan(scale: Scale, seed: u64) -> Plan {

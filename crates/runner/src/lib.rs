@@ -38,6 +38,7 @@ pub mod registry;
 pub mod scale;
 pub mod single;
 
+use plan::RunDigest;
 use registry::Experiment;
 use scale::Scale;
 
@@ -50,34 +51,52 @@ pub struct ExperimentRun {
     pub output: &'static str,
     /// The rendered output text (what `results/<output>` should contain).
     pub text: String,
+    /// Machine-readable run summary (livelocks, watchdog storms,
+    /// per-fault-class counts) — deterministic, unlike the wall times.
+    pub digest: RunDigest,
     /// Wall time of each shard in nanoseconds, in shard-index order.
     pub shard_ns: Vec<u64>,
-    /// Wall time of the whole experiment (shards + merge) in nanoseconds.
+    /// Wall time of plan construction in nanoseconds.
+    pub build_ns: u64,
+    /// Wall time of the pooled shard phase in nanoseconds.
+    pub run_ns: u64,
+    /// Wall time of the index-ordered merge in nanoseconds.
+    pub merge_ns: u64,
+    /// Wall time of the whole experiment (build + shards + merge).
     pub elapsed_ns: u64,
 }
 
 /// Run one experiment at the given scale/seed across `jobs` workers.
 ///
 /// The returned text is a pure function of `(experiment, scale, seed)` —
-/// `jobs` affects wall time only.
+/// `jobs` affects wall time only. Per-phase wall times (build, run,
+/// merge) are measured with the testkit bench clock, keeping rule D001's
+/// wall-clock boundary at the runner.
 pub fn run_experiment(exp: &Experiment, scale: Scale, seed: u64, jobs: usize) -> ExperimentRun {
     let watch = domino_testkit::bench::Stopwatch::start();
     let built = (exp.plan)(scale, seed);
     let (shards, finish) = built.into_parts();
+    let build_ns = watch.elapsed_ns();
     let runs = pool::run_indexed(jobs, shards);
+    let run_ns = watch.elapsed_ns() - build_ns;
     let mut shard_ns = Vec::with_capacity(runs.len());
     let mut data = Vec::with_capacity(runs.len());
     for run in runs {
         shard_ns.push(run.elapsed_ns);
         data.push(run.value);
     }
-    let text = finish(data);
+    let (text, digest) = finish(data);
+    let elapsed_ns = watch.elapsed_ns();
     ExperimentRun {
         name: exp.name,
         output: exp.output,
         text,
+        digest,
         shard_ns,
-        elapsed_ns: watch.elapsed_ns(),
+        build_ns,
+        run_ns,
+        merge_ns: elapsed_ns - build_ns - run_ns,
+        elapsed_ns,
     }
 }
 
@@ -141,14 +160,7 @@ pub fn render_manifest(
     use std::fmt::Write;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"tool\": \"domino-run\",");
-    let _ = writeln!(
-        out,
-        "  \"scale\": \"{}\",",
-        match scale {
-            Scale::Quick => "quick",
-            Scale::Full => "full",
-        }
-    );
+    let _ = writeln!(out, "  \"scale\": \"{}\",", scale.name());
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
@@ -160,6 +172,22 @@ pub fn render_manifest(
         let _ = writeln!(out, "      \"output\": \"{}\",", run.output);
         let _ = writeln!(out, "      \"bytes\": {},", run.text.len());
         let _ = writeln!(out, "      \"wall_ms\": {:.1},", run.elapsed_ns as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "      \"phase_ms\": {{ \"build\": {:.1}, \"run\": {:.1}, \"merge\": {:.1} }},",
+            run.build_ns as f64 / 1e6,
+            run.run_ns as f64 / 1e6,
+            run.merge_ns as f64 / 1e6,
+        );
+        let _ = writeln!(out, "      \"livelocks\": {},", run.digest.livelocks);
+        let _ = writeln!(out, "      \"watchdog_storms\": {},", run.digest.watchdog_storms);
+        let classes: Vec<String> = run
+            .digest
+            .fault_classes
+            .iter()
+            .map(|(name, count)| format!("\"{name}\": {count}"))
+            .collect();
+        let _ = writeln!(out, "      \"fault_classes\": {{ {} }},", classes.join(", "));
         let shards: Vec<String> =
             run.shard_ns.iter().map(|ns| format!("{:.1}", *ns as f64 / 1e6)).collect();
         let _ = writeln!(out, "      \"shard_ms\": [{}]", shards.join(", "));
@@ -167,6 +195,40 @@ pub fn render_manifest(
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Render the `--list` table: one `name  title` line per registered
+/// experiment. All user-facing formatting lives here (rule D006: the
+/// binary prints pre-rendered strings only).
+pub fn render_list() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for e in &registry::REGISTRY {
+        let _ = writeln!(out, "{:<28} {}", e.name, e.title);
+    }
+    out
+}
+
+/// Render the progress line `domino-run` prints after each experiment.
+pub fn render_progress(run: &ExperimentRun, verdict: &str) -> String {
+    format!(
+        "{:<28} {:>9.1} ms  {:>3} shard{}  {verdict}",
+        run.name,
+        run.elapsed_ns as f64 / 1e6,
+        run.shard_ns.len(),
+        if run.shard_ns.len() == 1 { " " } else { "s" },
+    )
+}
+
+/// Render the closing summary line of a `domino-run` invocation.
+pub fn render_summary(count: usize, wall_ns: u64, jobs: usize) -> String {
+    format!(
+        "{} experiment{} in {:.1} s (jobs={})",
+        count,
+        if count == 1 { "" } else { "s" },
+        wall_ns as f64 / 1e9,
+        jobs,
+    )
 }
 
 #[cfg(test)]
@@ -178,7 +240,15 @@ mod tests {
             name: "dummy",
             output: "dummy.txt",
             text: text.to_string(),
+            digest: RunDigest {
+                livelocks: 0,
+                watchdog_storms: 1,
+                fault_classes: vec![("ap_crashes", 2)],
+            },
             shard_ns: vec![1_000_000, 2_000_000],
+            build_ns: 100_000,
+            run_ns: 2_500_000,
+            merge_ns: 400_000,
             elapsed_ns: 3_000_000,
         }
     }
@@ -219,5 +289,22 @@ mod tests {
         assert!(m.contains("\"jobs\": 4"));
         assert!(m.contains("\"name\": \"dummy\""));
         assert!(m.contains("\"shard_ms\": [1.0, 2.0]"));
+        assert!(m.contains("\"livelocks\": 0"));
+        assert!(m.contains("\"watchdog_storms\": 1"));
+        assert!(m.contains("\"fault_classes\": { \"ap_crashes\": 2 }"));
+        assert!(m.contains("\"phase_ms\": { \"build\": 0.1, \"run\": 2.5, \"merge\": 0.4 }"));
+    }
+
+    #[test]
+    fn render_helpers_are_print_ready() {
+        let line = render_progress(&dummy_run("hi\n"), "check: match");
+        assert!(line.starts_with("dummy"));
+        assert!(line.contains("2 shards"));
+        assert!(line.ends_with("check: match"));
+        assert_eq!(render_summary(1, 2_000_000_000, 4), "1 experiment in 2.0 s (jobs=4)");
+        assert_eq!(render_summary(3, 500_000_000, 2), "3 experiments in 0.5 s (jobs=2)");
+        let list = render_list();
+        assert!(list.lines().count() >= 15);
+        assert!(list.contains("fig10_timeline"));
     }
 }

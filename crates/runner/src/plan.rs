@@ -7,8 +7,40 @@ use std::any::Any;
 /// experiments behind one function-pointer type.
 pub(crate) type ShardData = Box<dyn Any + Send>;
 
-/// The merge half of a plan: shard results in index order → output text.
-pub(crate) type Finish = Box<dyn FnOnce(Vec<ShardData>) -> String + Send>;
+/// The merge half of a plan: shard results in index order → output text
+/// plus the machine-readable digest of the run.
+pub(crate) type Finish = Box<dyn FnOnce(Vec<ShardData>) -> (String, RunDigest) + Send>;
+
+/// Machine-readable summary of one experiment run, surfaced in the
+/// `domino-run --json` manifest. Everything here is deterministic (a pure
+/// function of experiment, scale, and seed) — unlike the wall times that
+/// accompany it in the manifest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Runs aborted by the engine's liveness monitor, summed over shards.
+    pub livelocks: u64,
+    /// DOMINO watchdog-restart storms, summed over shards.
+    pub watchdog_storms: u64,
+    /// Per-fault-class injection totals as `(class, count)`, in
+    /// `FaultStats::classes` declaration order, summed over shards.
+    /// Empty when the experiment does not digest faults.
+    pub fault_classes: Vec<(&'static str, u64)>,
+}
+
+impl RunDigest {
+    /// Fold another digest (e.g. one shard's) into this one, matching
+    /// fault classes by name.
+    pub fn merge(&mut self, other: &RunDigest) {
+        self.livelocks += other.livelocks;
+        self.watchdog_storms += other.watchdog_storms;
+        for &(name, count) in &other.fault_classes {
+            match self.fault_classes.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += count,
+                None => self.fault_classes.push((name, count)),
+            }
+        }
+    }
+}
 
 /// An experiment instantiated at a concrete scale and seed: a list of
 /// independent shards and a merge that renders their results — consumed
@@ -31,6 +63,17 @@ impl Plan {
     pub fn new<T: Send + 'static>(
         shards: Vec<Box<dyn FnOnce() -> T + Send>>,
         finish: impl FnOnce(Vec<T>) -> String + Send + 'static,
+    ) -> Plan {
+        Plan::new_digested(shards, move |data| (finish(data), RunDigest::default()))
+    }
+
+    /// [`Plan::new`] for experiments that also report a [`RunDigest`]:
+    /// the merge returns the rendered text together with the digest the
+    /// `--json` manifest surfaces (livelocks, watchdog storms,
+    /// per-fault-class counts).
+    pub fn new_digested<T: Send + 'static>(
+        shards: Vec<Box<dyn FnOnce() -> T + Send>>,
+        finish: impl FnOnce(Vec<T>) -> (String, RunDigest) + Send + 'static,
     ) -> Plan {
         Plan {
             shards: shards
@@ -77,7 +120,9 @@ mod tests {
         assert_eq!(plan.num_shards(), 5);
         let (tasks, finish) = plan.into_parts();
         let data: Vec<ShardData> = tasks.into_iter().map(|t| t()).collect();
-        assert_eq!(finish(data), "[0, 10, 20, 30, 40]");
+        let (text, digest) = finish(data);
+        assert_eq!(text, "[0, 10, 20, 30, 40]");
+        assert_eq!(digest, RunDigest::default());
     }
 
     #[test]
@@ -86,6 +131,44 @@ mod tests {
         assert_eq!(plan.num_shards(), 1);
         let (tasks, finish) = plan.into_parts();
         let data: Vec<ShardData> = tasks.into_iter().map(|t| t()).collect();
-        assert_eq!(finish(data), "hello\n");
+        assert_eq!(finish(data).0, "hello\n");
+    }
+
+    #[test]
+    fn digested_plan_carries_its_digest() {
+        let shards: Vec<Box<dyn FnOnce() -> u64 + Send>> =
+            (1..=3u64).map(|i| -> Box<dyn FnOnce() -> u64 + Send> { Box::new(move || i) }).collect();
+        let plan = Plan::new_digested(shards, |values: Vec<u64>| {
+            let digest = RunDigest {
+                livelocks: values.iter().sum(),
+                watchdog_storms: 2,
+                fault_classes: vec![("ap_crashes", 4)],
+            };
+            ("text\n".to_string(), digest)
+        });
+        let (tasks, finish) = plan.into_parts();
+        let data: Vec<ShardData> = tasks.into_iter().map(|t| t()).collect();
+        let (text, digest) = finish(data);
+        assert_eq!(text, "text\n");
+        assert_eq!(digest.livelocks, 6);
+        assert_eq!(digest.fault_classes, vec![("ap_crashes", 4)]);
+    }
+
+    #[test]
+    fn digest_merge_sums_by_class() {
+        let mut a = RunDigest {
+            livelocks: 1,
+            watchdog_storms: 0,
+            fault_classes: vec![("ap_crashes", 2)],
+        };
+        let b = RunDigest {
+            livelocks: 0,
+            watchdog_storms: 3,
+            fault_classes: vec![("ap_crashes", 1), ("churn_drops", 5)],
+        };
+        a.merge(&b);
+        assert_eq!(a.livelocks, 1);
+        assert_eq!(a.watchdog_storms, 3);
+        assert_eq!(a.fault_classes, vec![("ap_crashes", 3), ("churn_drops", 5)]);
     }
 }

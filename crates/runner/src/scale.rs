@@ -23,6 +23,15 @@ impl Scale {
         }
     }
 
+    /// Stable lower-case name (`"quick"` / `"full"`) used in the `--json`
+    /// manifest and in trace-file metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Trial count: `full` at full scale, else `quick`.
     pub fn trials(self, quick: usize, full: usize) -> usize {
         match self {
@@ -42,5 +51,7 @@ mod tests {
         assert_eq!(Scale::Full.duration(4.0), 50.0);
         assert_eq!(Scale::Quick.trials(80, 1000), 80);
         assert_eq!(Scale::Full.trials(80, 1000), 1000);
+        assert_eq!(Scale::Quick.name(), "quick");
+        assert_eq!(Scale::Full.name(), "full");
     }
 }

@@ -31,6 +31,7 @@
 //! (FIFO), which makes runs fully deterministic.
 
 use crate::time::{SimDuration, SimTime};
+use domino_obs::{TraceEvent, TraceHandle};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -121,6 +122,7 @@ pub struct Engine<E> {
     cancelled: std::collections::HashSet<u64>,
     processed: u64,
     liveness: Option<Liveness>,
+    tracer: TraceHandle,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -150,7 +152,16 @@ impl<E> Engine<E> {
             cancelled: std::collections::HashSet::new(),
             processed: 0,
             liveness: None,
+            tracer: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace sink. Observation only — attaching never changes
+    /// event order, timing, or RNG state; the engine emits
+    /// [`TraceEvent::LivelockCheck`] at every liveness-window roll and
+    /// [`TraceEvent::Livelock`] when the budget trips.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Arm the liveness monitor: more than `budget` events delivered while
@@ -263,11 +274,20 @@ impl<E> Engine<E> {
         let popped = self.pop_until(horizon);
         if let (Some((t, _)), Some(liv)) = (&popped, &mut self.liveness) {
             if *t >= liv.window_start + liv.window {
+                let closed = liv.window_events;
+                self.tracer.emit(t.as_nanos(), move || TraceEvent::LivelockCheck {
+                    events_in_window: closed,
+                });
                 liv.window_start = *t;
                 liv.window_events = 0;
             }
             liv.window_events += 1;
             if liv.window_events > liv.budget {
+                let (events, budget) = (liv.window_events, liv.budget);
+                self.tracer.emit(t.as_nanos(), move || TraceEvent::Livelock {
+                    events_in_window: events,
+                    budget,
+                });
                 return Err(Livelock {
                     at: *t,
                     events_in_window: liv.window_events,

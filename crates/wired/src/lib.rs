@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use domino_obs::{TraceEvent, TraceHandle};
 use domino_sim::rng::streams;
 use domino_sim::{SimDuration, SimRng, SimTime};
 
@@ -89,6 +90,7 @@ pub struct Backbone {
     sent: u64,
     lost: u64,
     spiked: u64,
+    tracer: TraceHandle,
 }
 
 impl Backbone {
@@ -105,7 +107,16 @@ impl Backbone {
             sent: 0,
             lost: 0,
             spiked: 0,
+            tracer: TraceHandle::off(),
         }
+    }
+
+    /// Attach a trace sink. Observation only — attaching never changes
+    /// latency draws, loss decisions, or delivery times; the backbone
+    /// emits [`TraceEvent::BackboneSend`] per surviving message and
+    /// [`TraceEvent::BackboneDrop`] per loss.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Set the per-message loss probability (default 0.0). Only
@@ -126,7 +137,12 @@ impl Backbone {
     /// Loss-exempt: models an ideal (never-dropping) backbone hop.
     pub fn send<M>(&mut self, now: SimTime, message: M) -> InTransit<M> {
         self.sent += 1;
-        InTransit { deliver_at: now + self.latency.sample(&mut self.rng), message }
+        let deliver_at = now + self.latency.sample(&mut self.rng);
+        self.tracer.emit(now.as_nanos(), || TraceEvent::BackboneSend {
+            delay_ns: deliver_at.saturating_since(now).as_nanos(),
+            spiked: false,
+        });
+        InTransit { deliver_at, message }
     }
 
     /// Send a message subject to the fault knobs: `None` means the
@@ -139,12 +155,19 @@ impl Backbone {
         self.sent += 1;
         if self.loss > 0.0 && self.faults.chance(self.loss) {
             self.lost += 1;
+            self.tracer.emit(now.as_nanos(), || TraceEvent::BackboneDrop);
             return None;
         }
+        let mut spiked = false;
         if self.spike > 0.0 && self.faults.chance(self.spike) {
             self.spiked += 1;
+            spiked = true;
             deliver_at += SimDuration::from_micros_f64(self.faults.exponential(self.spike_extra_us));
         }
+        self.tracer.emit(now.as_nanos(), || TraceEvent::BackboneSend {
+            delay_ns: deliver_at.saturating_since(now).as_nanos(),
+            spiked,
+        });
         Some(InTransit { deliver_at, message })
     }
 
@@ -296,6 +319,25 @@ mod tests {
         }
         assert_eq!(u64::from(spiked), spiky.spikes_injected());
         assert!((900..1100).contains(&spiked), "spike count {spiked}");
+    }
+
+    #[test]
+    fn tracer_observes_sends_and_drops_without_perturbing_them() {
+        let mut plain = Backbone::new(WiredLatency::default(), 61);
+        plain.set_loss(0.5);
+        let mut traced = Backbone::new(WiredLatency::default(), 61);
+        traced.set_loss(0.5);
+        let (handle, sink) = TraceHandle::mem();
+        traced.set_tracer(handle);
+        for i in 0..100u32 {
+            let a = plain.try_send(SimTime::ZERO, i).map(|m| m.deliver_at);
+            let b = traced.try_send(SimTime::ZERO, i).map(|m| m.deliver_at);
+            assert_eq!(a, b, "tracing must not perturb the backbone");
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 100, "one event per message");
+        let drops = events.iter().filter(|r| r.ev == TraceEvent::BackboneDrop).count() as u64;
+        assert_eq!(drops, traced.messages_lost());
     }
 
     #[test]

@@ -11,7 +11,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: build (whole workspace, all targets, no network) =="
-cargo build --release --offline --workspace --benches
+# --bins is explicit: passing any target-selection flag (--benches) makes
+# cargo build ONLY those targets, silently skipping the domino-run /
+# domino-trace binaries the later steps drive.
+cargo build --release --offline --workspace --bins --benches
 
 echo "== tier-1: test =="
 cargo test -q --offline --workspace
@@ -29,6 +32,18 @@ echo "== chaos smoke: fixed-seed fault injection =="
 # runs are as deterministic as clean ones (and that no MAC livelocks —
 # the experiment's liveness gate is part of its pinned output).
 ./target/release/domino-run chaos_degradation --check --jobs 2
+
+echo "== observability: traced run stays byte-identical, trace validates =="
+# Tracing is observation-only: re-running the golden gate with --trace
+# must still byte-match every pinned results/ file, while also writing
+# the designated JSONL traces. domino-trace check then validates each
+# trace: schema version, well-formed events, monotone timestamps.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./target/release/domino-run fig10_timeline chaos_degradation --check --jobs 2 --trace "$TRACE_DIR"
+for trace in "$TRACE_DIR"/*.jsonl; do
+    ./target/release/domino-trace check "$trace"
+done
 
 echo "== lint: domino-lint (determinism & correctness rules) =="
 # Unwaived violations (or reasonless waivers) exit non-zero and fail CI.

@@ -13,6 +13,7 @@ pub use domino_core as core;
 pub use domino_faults as faults;
 pub use domino_mac as mac;
 pub use domino_medium as medium;
+pub use domino_obs as obs;
 pub use domino_phy as phy;
 pub use domino_scheduler as scheduler;
 pub use domino_sim as sim;

@@ -352,6 +352,67 @@ fn any_fault_schedule_terminates_and_conserves() {
 }
 
 #[test]
+fn tracing_never_perturbs_a_run() {
+    // The observability plane's core contract, exercised under
+    // adversarial fault schedules: attaching a trace sink is observation
+    // only — every `Eq`-comparable field of `RunStats` is identical with
+    // and without the sink, for all four schemes — and the captured
+    // trace survives a JSONL round trip losslessly. (`duration_s` and
+    // `delays` carry floats/summaries without `Eq`; the golden pins in
+    // tests/golden.rs cover those through the rendered text.)
+    prop::check_with(
+        prop::Config { cases: 4, seed: 0x0B5E, max_shrink_replays: 32 },
+        "tracing_never_perturbs_a_run",
+        |g| {
+            let faults = arbitrary_fault_schedule(g);
+            let seed = g.u64(1, 1 << 20);
+            let b = SimulationBuilder::new(scenarios::fig1())
+                .udp(4e6, 1e6)
+                .duration_s(0.1)
+                .seed(seed)
+                .faults(faults);
+            for &scheme in &Scheme::ALL {
+                let plain = b.run(scheme);
+                let (handle, sink) = domino::obs::TraceHandle::mem();
+                let traced = b.run_traced(scheme, handle);
+                let eq_fields = |r: &RunReport| {
+                    (
+                        r.stats.delivered_bits.clone(),
+                        r.stats.drops,
+                        r.stats.retries,
+                        r.stats.ack_timeouts,
+                        r.stats.events,
+                        r.stats.tcp_retransmissions,
+                        r.stats.slot_starts.clone(),
+                        r.stats.domino,
+                        r.stats.faults,
+                    )
+                };
+                prop_assert_eq!(
+                    eq_fields(&plain),
+                    eq_fields(&traced),
+                    "{}: tracing perturbed the run",
+                    scheme.label()
+                );
+                let records = sink.take();
+                prop_assert!(!records.is_empty(), "{}: empty trace", scheme.label());
+                let meta = domino::obs::jsonl::TraceMeta {
+                    experiment: "properties".to_string(),
+                    scheme: scheme.label().to_string(),
+                    seed,
+                    scale: "quick".to_string(),
+                };
+                let text = domino::obs::jsonl::write_trace(&meta, &records);
+                let (meta2, records2) = domino::obs::jsonl::parse_trace(&text)
+                    .expect("a written trace must parse back");
+                prop_assert_eq!(meta2, meta, "{}: meta round trip", scheme.label());
+                prop_assert_eq!(records2, records, "{}: record round trip", scheme.label());
+            }
+        },
+    );
+}
+
+#[test]
 fn regression_all_zero_fault_schedule_is_off() {
     // The shrinker's floor for `arbitrary_fault_schedule`: every choice 0
     // must decode to the all-off config (so minimal counterexamples read
