@@ -42,6 +42,52 @@ fn main() {
         },
     );
 
+    h.bench_with_setup("engine/schedule_pop_100k", Engine::<u32>::new, |mut engine| {
+        // Larger working set: exercises multi-level wheel occupancy and
+        // cascading, not just the level-0 fast path.
+        for i in 0..100_000u32 {
+            engine.schedule_at(SimTime::from_micros(u64::from(i.wrapping_mul(2_654_435_761) % 131_071)), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = engine.pop() {
+            sum += u64::from(v);
+        }
+        sum
+    });
+
+    h.bench_with_setup("engine/cancel_heavy", Engine::<u32>::new, |mut engine| {
+        // 90% of scheduled timers are cancelled before firing — the
+        // ACK-timeout / watchdog pattern where most timers never expire.
+        let mut handles = Vec::with_capacity(10_000);
+        for i in 0..10_000u32 {
+            handles.push(engine.schedule_at(SimTime::from_micros(u64::from(i % 8_191) + 1), i));
+        }
+        for (k, h) in handles.drain(..).enumerate() {
+            if k % 10 != 0 {
+                engine.cancel(h);
+            }
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = engine.pop() {
+            sum += u64::from(v);
+        }
+        sum
+    });
+
+    h.bench_with_setup("engine/sparse_far_future", Engine::<u32>::new, |mut engine| {
+        // A few timers spread across seconds of virtual time: dominated
+        // by cascade cost from the upper wheel levels, the worst case for
+        // a hierarchical wheel versus a heap.
+        for i in 0..256u32 {
+            engine.schedule_at(SimTime::from_micros(u64::from(i) * 40_009 + 7), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = engine.pop() {
+            sum += u64::from(v);
+        }
+        sum
+    });
+
     h.bench_with_setup("engine/fifo_ties", Engine::<u32>::new, |mut engine| {
         let t = SimTime::from_micros(5);
         for i in 0..1_000u32 {

@@ -684,4 +684,31 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 3);
     }
+
+    #[test]
+    fn wheel_module_is_in_d005_scope() {
+        // The timer wheel is library code of `sim`: panicking constructs
+        // outside tests must be flagged.
+        let src = "fn cascade() { slot.unwrap(); }";
+        let f = run("crates/sim/src/wheel.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::D005);
+    }
+
+    #[test]
+    fn oracle_module_is_in_d002_scope() {
+        // The differential oracle feeds pass/fail decisions off event
+        // order; HashMap iteration there is nondeterminism waiting to
+        // happen and must be flagged.
+        let src = "fn drain(m: &HashMap<u64, u32>) { for (k, v) in m.iter() { use_it(k, v); } }";
+        let f = run("crates/sim/src/oracle.rs", src);
+        assert!(f.iter().any(|x| x.rule == RuleId::D002), "{f:?}");
+    }
+
+    #[test]
+    fn differential_test_file_is_exempt() {
+        let src = "fn t() { x.unwrap(); }";
+        let f = run("crates/sim/tests/differential.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
 }

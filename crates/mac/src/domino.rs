@@ -31,10 +31,11 @@ use crate::timing::{
 };
 use crate::workload::{client_indices, DominoCounters, RunStats, Workload, WATCHDOG_STORM_THRESHOLD};
 use domino_faults::{FaultConfig, FaultPlane, NodeFaults};
-use domino_medium::{Burst, BurstMarker, Frame, FrameBody, Medium, TxId};
+use domino_medium::{Burst, BurstMarker, Frame, FrameBody, InlineVec, Medium, Reception, TxId};
 use domino_obs::{FaultKind, TraceEvent, TraceHandle};
 use domino_scheduler::{
-    BacklogView, BurstAssignment, Converter, ConverterConfig, RandScheduler, RelativeBatch,
+    BacklogView, BurstAssignment, ConversionOutcome, Converter, ConverterConfig, RandScheduler,
+    RelativeBatch,
 };
 use domino_sim::engine::{DEFAULT_EVENT_BUDGET, DEFAULT_LIVENESS_WINDOW};
 use domino_sim::{Engine, SimDuration, SimTime};
@@ -104,6 +105,10 @@ struct ApAction {
     client_burst: Option<Burst>,
 }
 
+/// Replacement burst info for one already-delivered retained-slot
+/// action: `(slot, own burst, client burst)`.
+type RetainedUpdate = (u64, Option<Burst>, Option<Burst>);
+
 /// Wired message to one AP.
 #[derive(Debug)]
 struct ApMessage {
@@ -111,7 +116,7 @@ struct ApMessage {
     actions: Vec<ApAction>,
     /// Replacement burst info for already-delivered retained-slot
     /// actions, keyed by slot id (batch connection, §3.3).
-    retained_updates: Vec<(u64, Option<Burst>, Option<Burst>)>,
+    retained_updates: Vec<RetainedUpdate>,
 }
 
 /// DOMINO scheme events.
@@ -303,6 +308,24 @@ struct World {
     tracer: TraceHandle,
     /// Monotone batch id for BatchBegin/BatchEnd trace pairing.
     batch_seq: u64,
+    /// Reception buffer recycled across `on_tx_end` calls.
+    rx_buf: Vec<Reception>,
+    /// Static topology tables cached at construction: the per-batch
+    /// controller loops would otherwise rebuild these Vecs on every
+    /// compute (hundreds per run).
+    ap_list: Vec<NodeId>,
+    clients: Vec<Vec<NodeId>>,
+    /// Controller scratch, recycled across computes.
+    backlog_buf: Vec<u32>,
+    before_buf: Vec<u32>,
+    committed_buf: Vec<u32>,
+    slot_senders: Vec<Vec<NodeId>>,
+    /// Converted-batch storage, recycled through `Converter::convert_into`.
+    outcome_buf: ConversionOutcome,
+    /// Recycled `ApMessage` payload storage: messages that complete
+    /// delivery hand their buffers back via `on_batch_arrive`.
+    action_pool: Vec<Vec<ApAction>>,
+    retained_pool: Vec<Vec<RetainedUpdate>>,
 }
 
 impl World {
@@ -351,6 +374,10 @@ impl World {
             .collect();
         let signature_of = net.nodes().iter().map(|n| n.signature as u32).collect();
         let num_flows = workload.flows.len();
+        let ap_list = net.aps();
+        let clients = (0..net.num_nodes())
+            .map(|n| net.clients_of(NodeId(n as u32)))
+            .collect();
         World {
             engine,
             medium,
@@ -379,6 +406,16 @@ impl World {
             wd_streak: 0,
             tracer,
             batch_seq: 0,
+            rx_buf: Vec::new(),
+            ap_list,
+            clients,
+            backlog_buf: Vec::new(),
+            before_buf: Vec::new(),
+            committed_buf: Vec::new(),
+            slot_senders: Vec::new(),
+            outcome_buf: ConversionOutcome::default(),
+            action_pool: Vec::new(),
+            retained_pool: Vec::new(),
             net: net.clone(),
             cfg,
         }
@@ -388,17 +425,17 @@ impl World {
 
     fn controller_compute(&mut self, now: SimTime) {
         // Downlink queues are known instantly over the wire; uplinks only
-        // through ROP reports.
-        let mut backlog: Vec<u32> = self
-            .net
-            .links()
-            .iter()
-            .map(|l| match l.direction {
-                Direction::Downlink => self.fe.queue(l.id).len() as u32,
-                Direction::Uplink => self.backlog.estimate(l.id),
-            })
-            .collect();
-        let before = backlog.clone();
+        // through ROP reports. All three working buffers are World scratch
+        // recycled across computes.
+        let mut backlog = std::mem::take(&mut self.backlog_buf);
+        backlog.clear();
+        backlog.extend(self.net.links().iter().map(|l| match l.direction {
+            Direction::Downlink => self.fe.queue(l.id).len() as u32,
+            Direction::Uplink => self.backlog.estimate(l.id),
+        }));
+        let mut before = std::mem::take(&mut self.before_buf);
+        before.clear();
+        before.extend_from_slice(&backlog);
         let mut strict = self
             .scheduler
             .schedule_batch(&self.graph, &mut backlog, self.cfg.batch_slots);
@@ -412,7 +449,9 @@ impl World {
             strict.slots = vec![Vec::new(); n];
         }
         // Commit uplink consumption to the stale-report tracker.
-        let mut committed = self.backlog.snapshot();
+        let mut committed = std::mem::take(&mut self.committed_buf);
+        committed.clear();
+        committed.extend_from_slice(self.backlog.estimates());
         for l in self.net.links() {
             if l.direction == Direction::Uplink {
                 let used = before[l.id.index()] - backlog[l.id.index()];
@@ -420,15 +459,19 @@ impl World {
             }
         }
         self.backlog.commit_schedule(&committed);
+        self.backlog_buf = backlog;
+        self.before_buf = before;
+        self.committed_buf = committed;
 
-        let polling: Vec<NodeId> = if self.cfg.converter.insert_rop {
-            self.net.aps()
+        let polling: &[NodeId] = if self.cfg.converter.insert_rop {
+            &self.ap_list
         } else {
-            Vec::new()
+            &[]
         };
-        let outcome = self
-            .converter
-            .convert(&self.net, &self.graph, &strict, &polling);
+        let mut outcome = std::mem::take(&mut self.outcome_buf);
+        self.converter
+            .convert_into(&self.net, &self.graph, &strict, polling, &mut outcome);
+        self.scheduler.recycle(strict);
         for l in &outcome.rescheduled {
             if self.net.link(*l).direction == Direction::Uplink {
                 self.backlog.refund(*l);
@@ -439,6 +482,7 @@ impl World {
 
         let n_slots = outcome.batch.slots.len();
         if n_slots == 0 && outcome.batch.connecting_rop.is_none() {
+            self.outcome_buf = outcome;
             self.compute_gen += 1;
             self.engine.schedule_in(
                 SimDuration::from_millis(1),
@@ -506,6 +550,7 @@ impl World {
         self.compute_gen += 1;
         self.engine
             .schedule_in(fallback, DEv::ControllerCompute { gen: self.compute_gen });
+        self.outcome_buf = outcome;
     }
 
     /// Turn a converted batch into per-AP wired messages, each delayed by
@@ -521,7 +566,7 @@ impl World {
             first_slot,
             slots: batch.slots.len() as u32,
         });
-        let sigs = self.signature_of.clone();
+        let sigs = &self.signature_of;
 
         let burst_of = |assignments: &[BurstAssignment],
                         node: NodeId,
@@ -531,7 +576,7 @@ impl World {
          -> Option<Burst> {
             assignments.iter().find(|b| b.broadcaster == node).map(|b| Burst {
                 codes: b.targets.iter().map(|t| sigs[t.index()]).collect(),
-                targets: b.targets.clone(),
+                targets: b.targets.iter().copied().collect(),
                 marker,
                 slot,
                 continues: next_senders.contains(&node),
@@ -540,21 +585,22 @@ impl World {
         // Senders of each batch slot (for the `continues` self-trigger
         // flag: a broadcaster is deaf during the simultaneous burst
         // phase, so the controller tells it in-band that it transmits
-        // again).
-        let slot_senders: Vec<Vec<NodeId>> = batch
-            .slots
-            .iter()
-            .map(|s| {
-                s.entries
-                    .iter()
-                    .map(|e| self.net.link(e.link).sender)
-                    .collect()
-            })
-            .collect();
+        // again). Inner Vecs are World scratch recycled across batches.
+        let mut sender_bufs = std::mem::take(&mut self.slot_senders);
+        for (i, s) in batch.slots.iter().enumerate() {
+            if sender_bufs.len() <= i {
+                sender_bufs.push(Vec::new());
+            }
+            let buf = &mut sender_bufs[i];
+            buf.clear();
+            buf.extend(s.entries.iter().map(|e| self.net.link(e.link).sender));
+        }
+        let slot_senders = &sender_bufs[..batch.slots.len()];
 
-        for ap in self.net.aps() {
-            let mut actions: Vec<ApAction> = Vec::new();
-            let mut retained_updates = Vec::new();
+        for &ap in &self.ap_list {
+            let mut actions: Vec<ApAction> = self.action_pool.pop().unwrap_or_default();
+            let mut retained_updates = self.retained_pool.pop().unwrap_or_default();
+            debug_assert!(actions.is_empty() && retained_updates.is_empty());
 
             // Batch connection: bursts for the retained slot trigger our
             // first slot (and the connecting ROP slot).
@@ -580,12 +626,12 @@ impl World {
                     slot_senders.first().map(|v| v.as_slice()).unwrap_or(&[]);
                 let own =
                     burst_of(&batch.connecting_bursts, ap, conn_marker, first_slot, first_senders);
-                let client = self.net.clients_of(ap).into_iter().find_map(|c| {
+                let client = self.clients[ap.index()].iter().copied().find_map(|c| {
                     burst_of(&batch.connecting_bursts, c, conn_marker, first_slot, first_senders)
                         .or_else(|| {
                             first_senders.contains(&c).then(|| Burst {
-                                codes: Vec::new(),
-                                targets: Vec::new(),
+                                codes: InlineVec::new(),
+                                targets: InlineVec::new(),
                                 marker: conn_marker,
                                 slot: first_slot,
                                 continues: true,
@@ -623,8 +669,8 @@ impl World {
                     let client = burst_of(&slot.bursts, link.client(), marker, next_slot_id, next_senders)
                         .or_else(|| {
                             next_senders.contains(&link.client()).then(|| Burst {
-                                codes: Vec::new(),
-                                targets: Vec::new(),
+                                codes: InlineVec::new(),
+                                targets: InlineVec::new(),
                                 marker,
                                 slot: next_slot_id,
                                 continues: true,
@@ -664,17 +710,26 @@ impl World {
             }
 
             if actions.is_empty() && retained_updates.is_empty() {
+                self.action_pool.push(actions);
+                self.retained_pool.push(retained_updates);
                 continue;
             }
-            let msg = ApMessage { first_slot, actions, retained_updates };
             if let Some(m) = self.backbone.try_send(now, ()) {
+                let msg = ApMessage { first_slot, actions, retained_updates };
                 self.engine
                     .schedule_at(m.deliver_at + stall, DEv::BatchArrive { ap: ap.0, msg });
+            } else {
+                // A lost program is not re-sent: the controller's
+                // fallback timer paces the next compute regardless, and
+                // the AP's retained entries are shed when the next batch
+                // lands.
+                actions.clear();
+                retained_updates.clear();
+                self.action_pool.push(actions);
+                self.retained_pool.push(retained_updates);
             }
-            // A lost program is not re-sent: the controller's fallback
-            // timer paces the next compute regardless, and the AP's
-            // retained entries are shed when the next batch lands.
         }
+        self.slot_senders = sender_bufs;
     }
 
     // --------------------------------------------------------- AP logic
@@ -711,8 +766,9 @@ impl World {
                 node: ap as u32,
             });
         }
+        let ApMessage { first_slot, mut actions, mut retained_updates } = msg;
         // Apply retained-slot burst updates to still-pending actions.
-        for (slot, own, client) in msg.retained_updates {
+        for (slot, own, client) in retained_updates.drain(..) {
             if let Some(action) =
                 self.nodes[ap].program.iter_mut().find(|a| a.slot == slot)
             {
@@ -727,19 +783,22 @@ impl World {
             // lost; the watchdog restarts the chain.
         }
         let was_idle = self.nodes[ap].program.is_empty();
-        let head_is_first = msg.actions.first().is_some_and(|a| a.slot == msg.first_slot);
+        let head_is_first = actions.first().is_some_and(|a| a.slot == first_slot);
         // Untriggerable entries start on their own, paced by the nominal
         // slot length from the batch's arrival; once an island's chain is
         // running, its later slots chain relatively as usual.
-        for a in &msg.actions {
+        for a in &actions {
             if a.kick_off {
-                let offset = self.geo.total * a.slot.saturating_sub(msg.first_slot);
+                let offset = self.geo.total * a.slot.saturating_sub(first_slot);
                 self.engine
                     .schedule_at(now + offset, DEv::KickOff { ap: ap as u32, slot: a.slot });
             }
         }
-        self.counters.actions_dispatched += msg.actions.len() as u64;
-        self.nodes[ap].program.extend(msg.actions);
+        self.counters.actions_dispatched += actions.len() as u64;
+        self.nodes[ap].program.extend(actions.drain(..));
+        // Hand the message's buffers back to the dispatch pools.
+        self.action_pool.push(actions);
+        self.retained_pool.push(retained_updates);
 
         if was_idle && head_is_first && !self.nodes[ap].pending_start {
             // Chain (re)start: APs begin individually (paper §3.3);
@@ -761,8 +820,8 @@ impl World {
                 self.nodes[ap].bump(); // retire stacked watchdogs
                 let client = self.net.link(link).client();
                 let burst = Burst {
-                    codes: vec![self.signature_of[client.index()]],
-                    targets: vec![client],
+                    codes: InlineVec::of(self.signature_of[client.index()]),
+                    targets: InlineVec::of(client),
                     marker: BurstMarker::Start,
                     slot: head.slot,
                     continues: false,
@@ -912,8 +971,8 @@ impl World {
                 let client = self.net.link(link).client();
                 if now >= self.nodes[client.index()].busy_until {
                     let burst = Burst {
-                        codes: vec![self.signature_of[client.index()]],
-                        targets: vec![client],
+                        codes: InlineVec::of(self.signature_of[client.index()]),
+                        targets: InlineVec::of(client),
                         marker: BurstMarker::Start,
                         slot: action.slot,
                         continues: false,
@@ -1077,7 +1136,11 @@ impl World {
     // ------------------------------------------------------- receptions
 
     fn on_tx_end(&mut self, now: SimTime, tx: TxId) {
-        let receptions = self.medium.end(tx, now);
+        // One reception buffer for the whole run: `end_into` refills it
+        // here and the storage goes back on `self.rx_buf` below.
+        let mut receptions = std::mem::take(&mut self.rx_buf);
+        receptions.clear();
+        self.medium.end_into(tx, now, &mut receptions);
         for r in &receptions {
             let rx = r.rx.index();
             match &r.frame.body {
@@ -1114,7 +1177,7 @@ impl World {
                         if let Some(b) = client_burst {
                             let at = now + (self.geo.burst_start - elapsed);
                             self.engine
-                                .schedule_at(at, DEv::SendBurst { node: r.rx.0, burst: b.clone() });
+                                .schedule_at(at, DEv::SendBurst { node: r.rx.0, burst: *b });
                             if b.continues {
                                 let rop = b.marker == BurstMarker::Rop;
                                 self.self_trigger_after_slot(now - elapsed, rx, b.slot, rop);
@@ -1161,7 +1224,7 @@ impl World {
                         if !self.net.node(r.rx).is_ap() {
                             self.engine.schedule_at(
                                 now + SLOT_TIME,
-                                DEv::SendBurst { node: r.rx.0, burst: b.clone() },
+                                DEv::SendBurst { node: r.rx.0, burst: *b },
                             );
                             if b.continues {
                                 let rop = b.marker == BurstMarker::Rop;
@@ -1234,6 +1297,7 @@ impl World {
                 }
             }
         }
+        self.rx_buf = receptions;
     }
 
     /// The AP received an uplink frame: advance its program past the
@@ -1428,8 +1492,8 @@ impl World {
             ApActionKind::RxData { link } if head.slot == slot => {
                 let client = self.net.link(link).client();
                 let burst = Burst {
-                    codes: vec![self.signature_of[client.index()]],
-                    targets: vec![client],
+                    codes: InlineVec::of(self.signature_of[client.index()]),
+                    targets: InlineVec::of(client),
                     marker: BurstMarker::Start,
                     slot,
                     continues: false,
@@ -1676,3 +1740,4 @@ mod tests {
         assert!(with.aggregate_mbps() > 0.0);
     }
 }
+

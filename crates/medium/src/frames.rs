@@ -9,14 +9,25 @@
 use domino_topology::{LinkId, NodeId};
 use domino_traffic::{Packet, PacketId};
 
+/// Inline capacity of a [`Burst`]'s signature list. The converter caps
+/// combined signatures at `max_outbound` (4, Fig 9) and clamps configs
+/// above it, so 4 is exact — and it matters: bursts travel by value
+/// inside MAC events, so this capacity sets the event-queue element
+/// size (the ablation experiments only push `max_outbound` *below* the
+/// paper's operating point; `InlineVec` panics loudly if anything ever
+/// overflows the cap).
+pub const BURST_CAP: usize = 4;
+
+pub use domino_topology::InlineVec;
+
 /// A set of signatures one node broadcasts to trigger the next slot's
 /// transmitters (paper §3.2). `targets[i]` owns `codes[i]`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Burst {
     /// Gold-code indices being summed (at most 4, §3.2).
-    pub codes: Vec<u32>,
+    pub codes: InlineVec<u32, BURST_CAP>,
     /// The nodes those codes belong to (same order as `codes`).
-    pub targets: Vec<NodeId>,
+    pub targets: InlineVec<NodeId, BURST_CAP>,
     /// Which end-of-burst marker follows the signatures.
     pub marker: BurstMarker,
     /// Absolute index of the slot this burst triggers (lets a triggered
@@ -33,7 +44,13 @@ pub struct Burst {
 impl Burst {
     /// An empty burst carrying only a marker.
     pub fn marker_only(marker: BurstMarker) -> Burst {
-        Burst { codes: Vec::new(), targets: Vec::new(), marker, slot: 0, continues: false }
+        Burst {
+            codes: InlineVec::new(),
+            targets: InlineVec::new(),
+            marker,
+            slot: 0,
+            continues: false,
+        }
     }
 
     /// Number of combined signatures.
@@ -124,7 +141,7 @@ impl Frame {
             FrameBody::MacAck { .. } => Vec::new(),          // resolved by caller
             FrameBody::Poll { ap } => clients_of_ap(*ap),
             FrameBody::RopReport { ap, .. } => vec![*ap],
-            FrameBody::SignatureBurst(b) => b.targets.clone(),
+            FrameBody::SignatureBurst(b) => b.targets.to_vec(),
         }
     }
 
@@ -142,8 +159,8 @@ mod tests {
     #[test]
     fn burst_helpers() {
         let b = Burst {
-            codes: vec![3, 7],
-            targets: vec![NodeId(3), NodeId(7)],
+            codes: [3, 7].into_iter().collect(),
+            targets: [NodeId(3), NodeId(7)].into_iter().collect(),
             marker: BurstMarker::Start,
             slot: 4,
             continues: false,
@@ -170,8 +187,8 @@ mod tests {
         let f = Frame {
             src: NodeId(4),
             body: FrameBody::SignatureBurst(Burst {
-                codes: vec![9],
-                targets: vec![NodeId(9)],
+                codes: InlineVec::of(9),
+                targets: InlineVec::of(NodeId(9)),
                 marker: BurstMarker::Start,
                 slot: 0,
                 continues: false,

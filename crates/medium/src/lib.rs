@@ -15,5 +15,5 @@ pub mod frames;
 pub mod medium;
 pub mod signatures;
 
-pub use frames::{Burst, BurstMarker, Frame, FrameBody};
+pub use frames::{Burst, BurstMarker, Frame, FrameBody, InlineVec, BURST_CAP};
 pub use medium::{Medium, MediumCounters, Reception, TxId};

@@ -22,6 +22,52 @@ use domino_topology::{Network, NodeId};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TxId(pub u64);
 
+/// Multiply-xor integer mixer for the PER memo table. Collisions are
+/// harmless (the map still compares full keys); all that matters is that
+/// the route is cheap and spreads `f64::to_bits` patterns, which SipHash
+/// does at ~10× the cost.
+#[derive(Clone, Copy, Debug, Default)]
+struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut x = self.0 ^ v;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`MixHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+struct BuildMixHasher;
+
+impl std::hash::BuildHasher for BuildMixHasher {
+    type Hasher = MixHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> MixHasher {
+        MixHasher(0)
+    }
+}
+
 /// The medium's verdict on one (transmission, receiver) pair.
 #[derive(Clone, Debug)]
 pub struct Reception {
@@ -29,7 +75,9 @@ pub struct Reception {
     pub tx_id: TxId,
     /// The adjudicated receiver.
     pub rx: NodeId,
-    /// The frame (cloned for the handler).
+    /// The frame. Burst targets live inline in the frame, so handing a
+    /// copy to each co-receiver's verdict is a flat memcpy — no
+    /// allocation, no shared ownership.
     pub frame: Frame,
     /// Did the receiver get it?
     pub success: bool,
@@ -75,12 +123,36 @@ pub struct Medium {
     ambient_mw: Vec<f64>,
     noise_mw: f64,
     cs_threshold_mw: f64,
+    /// `rss[tx · n + rx]` in mW with sub-floor entries zeroed — the
+    /// adjudication path's view. dBm→mW is a `powf`; the matrix is static,
+    /// so both views are precomputed once at construction (bit-identical
+    /// to converting on every call: same inputs, same single conversion).
+    rss_floor_mw: Vec<f64>,
+    /// Same matrix without the floor cut (the interference-update path
+    /// historically summed unfloored values; keeping both views preserves
+    /// every adjudication bit).
+    rss_raw_mw: Vec<f64>,
+    /// PER is a pure function of `(sinr_db, bits)` and the run's fixed
+    /// rate, so memoizing skips the `powf`/`erfc` per data adjudication.
+    /// Keys are exact bit patterns (equality still decides hits — the
+    /// hash only routes buckets), and the mixer is a cheap multiply-xor:
+    /// SipHash costs more than the saved transcendentals. Lookup only —
+    /// never iterated (lint D002).
+    per_cache: std::collections::HashMap<(u64, usize), f64, BuildMixHasher>,
     rng: SimRng,
     next_tx: u64,
     counters: MediumCounters,
     /// Peak reporter RSS per in-progress ROP round: (ap, round start ns,
     /// peak dBm).
     rop_peaks: Vec<(NodeId, u64, f64)>,
+    /// Clients per AP (empty for client nodes), precomputed so a Poll's
+    /// audience is a slice lookup instead of a filtered allocation.
+    clients: Vec<Vec<NodeId>>,
+    /// Retired track vectors, reused by later transmissions so the
+    /// per-transmission bookkeeping settles into steady-state storage.
+    track_pool: Vec<Vec<RxTrack>>,
+    /// Scratch receiver list for [`Medium::begin`] (same reuse idea).
+    rx_scratch: Vec<NodeId>,
     /// Channel/churn fault classes, when the run's fault plane is active.
     /// `None` (the default) costs nothing and draws nothing, so fault-free
     /// runs adjudicate byte-identically to a plane-free build.
@@ -94,16 +166,37 @@ impl Medium {
         let n = net.num_nodes();
         let noise_mw = net.phy().noise_floor.to_milliwatts();
         let cs_threshold_mw = net.phy().cs_threshold.to_milliwatts();
+        let mut rss_floor_mw = vec![0.0; n * n];
+        let mut rss_raw_mw = vec![0.0; n * n];
+        for tx in 0..n {
+            for rx in 0..n {
+                let rss = net.rss().get(NodeId(tx as u32), NodeId(rx as u32));
+                let raw = rss.to_milliwatts();
+                rss_raw_mw[tx * n + rx] = raw;
+                if rss > Dbm::FLOOR {
+                    rss_floor_mw[tx * n + rx] = raw;
+                }
+            }
+        }
+        let clients = (0..n).map(|ap| net.clients_of(NodeId(ap as u32))).collect();
         Medium {
             net,
             active: Vec::new(),
             ambient_mw: vec![0.0; n],
             noise_mw,
             cs_threshold_mw,
+            rss_floor_mw,
+            rss_raw_mw,
+            // Sized for a typical run's distinct (SINR, length) pairs so
+            // the steady state is reached without growth rehashes.
+            per_cache: std::collections::HashMap::with_capacity_and_hasher(512, BuildMixHasher),
             rng: SimRng::derive(master_seed, streams::PHY_ERROR),
             next_tx: 0,
             counters: MediumCounters::default(),
             rop_peaks: Vec::new(),
+            clients,
+            track_pool: Vec::new(),
+            rx_scratch: Vec::new(),
             faults: None,
             tracer: TraceHandle::off(),
         }
@@ -139,13 +232,9 @@ impl Medium {
         self.counters
     }
 
+    #[inline]
     fn rss_mw(&self, tx: NodeId, rx: NodeId) -> f64 {
-        let rss = self.net.rss().get(tx, rx);
-        if rss <= Dbm::FLOOR {
-            0.0
-        } else {
-            rss.to_milliwatts()
-        }
+        self.rss_floor_mw[tx.index() * self.net.num_nodes() + rx.index()]
     }
 
     /// Is `node` currently transmitting?
@@ -183,13 +272,16 @@ impl Medium {
         Dbm::from_milliwatts(total)
     }
 
-    fn receivers_of(&self, frame: &Frame) -> Vec<NodeId> {
+    /// Append `frame`'s intended receivers to `out` (no allocation on the
+    /// steady-state path: Poll audiences come from the precomputed
+    /// per-AP client table, burst targets live inline in the frame).
+    fn push_receivers(&self, frame: &Frame, out: &mut Vec<NodeId>) {
         match &frame.body {
-            FrameBody::Data { packet, .. } => vec![self.net.link(packet.link).receiver],
-            FrameBody::MacAck { link, .. } => vec![self.net.link(*link).sender],
-            FrameBody::Poll { ap } => self.net.clients_of(*ap),
-            FrameBody::RopReport { ap, .. } => vec![*ap],
-            FrameBody::SignatureBurst(b) => b.targets.clone(),
+            FrameBody::Data { packet, .. } => out.push(self.net.link(packet.link).receiver),
+            FrameBody::MacAck { link, .. } => out.push(self.net.link(*link).sender),
+            FrameBody::Poll { ap } => out.extend_from_slice(&self.clients[ap.index()]),
+            FrameBody::RopReport { ap, .. } => out.push(*ap),
+            FrameBody::SignatureBurst(b) => out.extend_from_slice(&b.targets),
         }
     }
 
@@ -205,7 +297,6 @@ impl Medium {
         let id = TxId(self.next_tx);
         self.next_tx += 1;
         self.counters.started += 1;
-
         // ROP round bookkeeping: record the strongest reporter per (ap,
         // start instant).
         if let FrameBody::RopReport { client, ap, .. } = frame.body {
@@ -220,15 +311,25 @@ impl Medium {
             self.rop_peaks.retain(|&(_, t, _)| t >= cutoff);
         }
 
-        // The new signal raises ambient power everywhere.
-        for node in 0..self.net.num_nodes() {
-            if node != frame.src.index() {
-                self.ambient_mw[node] += self.rss_mw(frame.src, NodeId(node as u32));
+        // The new signal raises ambient power everywhere (split at the
+        // source index so its own entry is skipped without a per-element
+        // branch).
+        {
+            let n = self.net.num_nodes();
+            let src = frame.src.index();
+            let row = &self.rss_floor_mw[src * n..(src + 1) * n];
+            let (amb_lo, amb_hi) = self.ambient_mw.split_at_mut(src);
+            for (a, &r) in amb_lo.iter_mut().zip(&row[..src]) {
+                *a += r;
+            }
+            for (a, &r) in amb_hi[1..].iter_mut().zip(&row[src + 1..]) {
+                *a += r;
             }
         }
 
         // Existing transmissions see more interference now.
         let src = frame.src;
+        let num_nodes = self.net.num_nodes();
         for tx in &mut self.active {
             for track in &mut tx.tracks {
                 if track.rx == src {
@@ -237,27 +338,29 @@ impl Medium {
                 let own = if tx.frame.src == track.rx {
                     0.0
                 } else {
-                    self.net.rss().get(tx.frame.src, track.rx).to_milliwatts()
+                    self.rss_raw_mw[tx.frame.src.index() * num_nodes + track.rx.index()]
                 };
                 let interf = (self.ambient_mw[track.rx.index()] - own).max(0.0);
                 track.max_interf_mw = track.max_interf_mw.max(interf);
             }
         }
 
-        // Tracks for the new transmission.
-        let tracks = self
-            .receivers_of(&frame)
-            .into_iter()
-            .map(|rx| {
-                let own = self.rss_mw(frame.src, rx);
-                let interf = (self.ambient_mw[rx.index()] - own).max(0.0);
-                RxTrack {
-                    rx,
-                    max_interf_mw: interf,
-                    rx_transmitted: self.is_transmitting(rx),
-                }
-            })
-            .collect();
+        // Tracks for the new transmission, in recycled storage.
+        let mut rxs = std::mem::take(&mut self.rx_scratch);
+        rxs.clear();
+        self.push_receivers(&frame, &mut rxs);
+        let mut tracks = self.track_pool.pop().unwrap_or_default();
+        debug_assert!(tracks.is_empty());
+        for &rx in &rxs {
+            let own = self.rss_mw(frame.src, rx);
+            let interf = (self.ambient_mw[rx.index()] - own).max(0.0);
+            tracks.push(RxTrack {
+                rx,
+                max_interf_mw: interf,
+                rx_transmitted: self.is_transmitting(rx),
+            });
+        }
+        self.rx_scratch = rxs;
 
         self.active.push(ActiveTx { id, frame, start: now, tracks });
         id
@@ -266,6 +369,14 @@ impl Medium {
     /// Take `tx` off the air and adjudicate reception at every intended
     /// receiver.
     pub fn end(&mut self, tx: TxId, now: SimTime) -> Vec<Reception> {
+        let mut out = Vec::new();
+        self.end_into(tx, now, &mut out);
+        out
+    }
+
+    /// [`Medium::end`], appending verdicts to a caller-owned buffer so a
+    /// hot event loop can reuse one allocation across every transmission.
+    pub fn end_into(&mut self, tx: TxId, now: SimTime, out: &mut Vec<Reception>) {
         let pos = self
             .active
             .iter()
@@ -274,15 +385,22 @@ impl Medium {
         let done = self.active.swap_remove(pos);
         debug_assert!(now >= done.start, "transmission ends before it starts");
 
-        // Remove the signal from the ambient field.
-        for node in 0..self.net.num_nodes() {
-            if node != done.frame.src.index() {
-                self.ambient_mw[node] =
-                    (self.ambient_mw[node] - self.rss_mw(done.frame.src, NodeId(node as u32))).max(0.0);
+        // Remove the signal from the ambient field (same split-at-source
+        // traversal as `begin`; element order and arithmetic unchanged).
+        {
+            let n = self.net.num_nodes();
+            let src = done.frame.src.index();
+            let row = &self.rss_floor_mw[src * n..(src + 1) * n];
+            let (amb_lo, amb_hi) = self.ambient_mw.split_at_mut(src);
+            for (a, &r) in amb_lo.iter_mut().zip(&row[..src]) {
+                *a = (*a - r).max(0.0);
+            }
+            for (a, &r) in amb_hi[1..].iter_mut().zip(&row[src + 1..]) {
+                *a = (*a - r).max(0.0);
             }
         }
 
-        let mut out = Vec::with_capacity(done.tracks.len());
+        out.reserve(done.tracks.len());
         for track in &done.tracks {
             let reception = self.adjudicate(&done, track, now);
             if reception.success {
@@ -292,7 +410,10 @@ impl Medium {
             }
             out.push(reception);
         }
-        out
+        // Recycle the track storage for a later transmission.
+        let ActiveTx { mut tracks, .. } = done;
+        tracks.clear();
+        self.track_pool.push(tracks);
     }
 
     fn adjudicate(&mut self, done: &ActiveTx, track: &RxTrack, now: SimTime) -> Reception {
@@ -345,7 +466,16 @@ impl Medium {
 
         let success = match &done.frame.body {
             FrameBody::Data { .. } | FrameBody::MacAck { .. } | FrameBody::Poll { .. } => {
-                let per = self.net.phy().data_rate.per(sinr_db, done.frame.bits.max(1));
+                let bits = done.frame.bits.max(1);
+                let key = (sinr_db.to_bits(), bits);
+                let per = match self.per_cache.get(&key) {
+                    Some(&p) => p,
+                    None => {
+                        let p = self.net.phy().data_rate.per(sinr_db, bits);
+                        self.per_cache.insert(key, p);
+                        p
+                    }
+                };
                 !self.rng.chance(per)
             }
             FrameBody::RopReport { client, ap, .. } => {
@@ -408,7 +538,7 @@ impl Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frames::{Burst, BurstMarker};
+    use crate::frames::{Burst, BurstMarker, InlineVec, BURST_CAP};
     use domino_topology::network::{make_node, PhyParams};
     use domino_topology::node::{NodeRole, Position};
     use domino_topology::rss::RssMatrix;
@@ -540,8 +670,8 @@ mod tests {
         let burst = Frame {
             src: NodeId(0),
             body: FrameBody::SignatureBurst(Burst {
-                codes: vec![1],
-                targets: vec![NodeId(1)],
+                codes: InlineVec::of(1),
+                targets: InlineVec::of(NodeId(1)),
                 marker: BurstMarker::Start,
                 slot: 0,
                 continues: false,
@@ -559,14 +689,21 @@ mod tests {
     }
 
     #[test]
-    fn oversized_burst_degrades() {
+    fn full_cap_burst_stays_reliable() {
+        // BURST_CAP is exactly the paper's 4-combined-signature operating
+        // point (the converter clamps `max_outbound` to it, so a larger
+        // burst can never reach the air). The degradation beyond 4 is
+        // pinned directly on `signature_detection_probability` in
+        // `signatures::tests::detection_degrades_beyond_four`; here we
+        // pin the other side through the full adjudication path: a burst
+        // at the cap still detects reliably.
         let n = net(&[]);
         let mut m = Medium::new(n.clone(), 8);
         let burst = Frame {
             src: NodeId(0),
             body: FrameBody::SignatureBurst(Burst {
-                codes: vec![1, 2, 3, 4, 5, 6, 7],
-                targets: vec![NodeId(1); 7],
+                codes: (1..=BURST_CAP as u32).collect(),
+                targets: std::iter::repeat_n(NodeId(1), BURST_CAP).collect(),
                 marker: BurstMarker::Start,
                 slot: 0,
                 continues: false,
@@ -578,8 +715,7 @@ mod tests {
             let t = m.begin(SimTime::from_micros(i), burst.clone());
             ok += m.end(t, SimTime::from_micros(i)).iter().filter(|r| r.success).count();
         }
-        // 7 targets x 100 trials at ~35-50% each.
-        assert!(ok < 550, "7-signature bursts should not be reliable: {ok}/700");
+        assert!(ok > 380, "4-signature bursts should be reliable: {ok}/400");
     }
 
     #[test]
@@ -632,7 +768,7 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
-    use crate::frames::{Burst, BurstMarker};
+    use crate::frames::{Burst, BurstMarker, InlineVec};
     use domino_topology::network::{make_node, PhyParams};
     use domino_topology::node::{NodeRole, Position};
     use domino_topology::rss::RssMatrix;
@@ -748,8 +884,8 @@ mod more_tests {
         let burst = Frame {
             src: NodeId(0),
             body: FrameBody::SignatureBurst(Burst {
-                codes: vec![1],
-                targets: vec![NodeId(1)],
+                codes: InlineVec::of(1),
+                targets: InlineVec::of(NodeId(1)),
                 marker: BurstMarker::Start,
                 slot: 0,
                 continues: false,
@@ -842,8 +978,8 @@ mod more_tests {
         let burst = Frame {
             src: NodeId(0),
             body: FrameBody::SignatureBurst(Burst {
-                codes: vec![1],
-                targets: vec![NodeId(1)],
+                codes: InlineVec::of(1),
+                targets: InlineVec::of(NodeId(1)),
                 marker: BurstMarker::Start,
                 slot: 0,
                 continues: false,

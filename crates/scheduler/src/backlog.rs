@@ -63,6 +63,12 @@ impl BacklogView {
         self.estimated.clone()
     }
 
+    /// Borrowed view of all estimates, for callers that keep their own
+    /// scratch buffer instead of taking a fresh [`BacklogView::snapshot`].
+    pub fn estimates(&self) -> &[u32] {
+        &self.estimated
+    }
+
     /// Commit the scheduler's consumption: `remaining` is the snapshot
     /// after scheduling; the difference is what got scheduled.
     pub fn commit_schedule(&mut self, remaining: &[u32]) {

@@ -22,10 +22,16 @@
 //! batch; the next batch's first slot is triggered by burst assignments
 //! computed for that retained slot (`connecting_bursts`).
 
-use crate::schedule::{BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule};
+use crate::schedule::{
+    BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule,
+    MAX_TRIGGER_TARGETS,
+};
 use domino_phy::units::Dbm;
 use domino_topology::{ConflictGraph, LinkId, Network, NodeId};
-use std::collections::BTreeMap;
+
+/// Upper bound on signatures per broadcaster the converter's inline
+/// scratch can hold (the paper's `max_outbound` is 4).
+const MAX_OUT: usize = MAX_TRIGGER_TARGETS;
 
 /// Converter tuning (paper §3.2/§3.3 constants).
 #[derive(Clone, Debug)]
@@ -72,17 +78,76 @@ pub struct ConversionOutcome {
 
 /// Stateful strict→relative converter (retains the batch-connection
 /// slot).
+///
+/// The scratch fields at the bottom are pure working storage, rebuilt or
+/// cleared on every call: the converter runs once per batch on the
+/// simulator's controller path, and reusing the buffers keeps the
+/// steady state allocation-free without touching any output.
 #[derive(Debug)]
 pub struct Converter {
     cfg: ConverterConfig,
     retained: Option<Vec<SlotEntry>>,
     batch_counter: u64,
+    /// Every link id, cached (the fake-insertion candidate universe).
+    all_links: Vec<LinkId>,
+    /// Links per AP node index (empty for clients), for ROP conflict
+    /// checks.
+    links_of_ap: Vec<Vec<LinkId>>,
+    /// Rotated fake-candidate order, reused across slots.
+    candidates: Vec<LinkId>,
+    /// Per-node outbound trigger targets ([`MAX_OUT`] inline slots).
+    out_targets: Vec<([NodeId; MAX_OUT], usize)>,
+    /// Per-node inbound trigger count.
+    inbound: Vec<u8>,
+    /// Broadcaster candidates at the boundary being assigned.
+    broadcasters: Vec<NodeId>,
+    /// Trigger targets at the boundary being assigned.
+    targets: Vec<(NodeId, Option<LinkId>)>,
+    /// Recycled slot storage (entries/bursts capacity survives between
+    /// batches via [`Converter::convert_into`]).
+    slot_pool: Vec<RelativeSlot>,
+    /// Working copy of one strict slot during fake-link insertion.
+    set_buf: Vec<LinkId>,
+    /// Untriggered-links buffer, reused across boundaries.
+    untriggered_buf: Vec<LinkId>,
 }
 
 impl Converter {
     /// A fresh converter.
     pub fn new(cfg: ConverterConfig) -> Converter {
-        Converter { cfg, retained: None, batch_counter: 0 }
+        Converter {
+            cfg,
+            retained: None,
+            batch_counter: 0,
+            all_links: Vec::new(),
+            links_of_ap: Vec::new(),
+            candidates: Vec::new(),
+            out_targets: Vec::new(),
+            inbound: Vec::new(),
+            broadcasters: Vec::new(),
+            targets: Vec::new(),
+            slot_pool: Vec::new(),
+            set_buf: Vec::new(),
+            untriggered_buf: Vec::new(),
+        }
+    }
+
+    /// (Re)build the cached link tables when the network shape changes
+    /// (in practice: once, on the first batch).
+    fn sync_tables(&mut self, net: &Network) {
+        if self.all_links.len() == net.links().len() && self.links_of_ap.len() == net.num_nodes()
+        {
+            return;
+        }
+        self.all_links = (0..net.links().len() as u32).map(LinkId).collect();
+        self.links_of_ap = (0..net.num_nodes())
+            .map(|n| {
+                let node = NodeId(n as u32);
+                net.links().iter().filter(|l| l.ap == node).map(|l| l.id).collect()
+            })
+            .collect();
+        self.out_targets = vec![([NodeId(0); MAX_OUT], 0); net.num_nodes()];
+        self.inbound = vec![0; net.num_nodes()];
     }
 
     /// The configuration in force.
@@ -110,39 +175,78 @@ impl Converter {
         strict: &StrictSchedule,
         polling_aps: &[NodeId],
     ) -> ConversionOutcome {
-        self.batch_counter += 1;
         let mut out = ConversionOutcome::default();
+        self.convert_into(net, graph, strict, polling_aps, &mut out);
+        out
+    }
+
+    /// [`Converter::convert`], reusing a caller-held outcome. The
+    /// previous contents of `out` are recycled into the converter's slot
+    /// pool, so a controller loop that keeps handing back the same
+    /// outcome never allocates batch storage in steady state.
+    pub fn convert_into(
+        &mut self,
+        net: &Network,
+        graph: &ConflictGraph,
+        strict: &StrictSchedule,
+        polling_aps: &[NodeId],
+        out: &mut ConversionOutcome,
+    ) {
+        self.batch_counter += 1;
+        out.rescheduled.clear();
+        out.unpolled_aps.clear();
+        out.batch.connecting_bursts.clear();
+        out.batch.connecting_rop = None;
+        self.slot_pool.append(&mut out.batch.slots);
         if strict.is_empty() && polling_aps.is_empty() {
-            return out;
+            return;
         }
+        self.sync_tables(net);
 
         // 1. Fake-link insertion.
-        let all_links: Vec<LinkId> = (0..net.links().len() as u32).map(LinkId).collect();
-        let mut slots: Vec<RelativeSlot> = Vec::new();
         for (i, slot) in strict.slots.iter().enumerate() {
-            let mut set: Vec<LinkId> = slot.clone();
-            let mut entries: Vec<SlotEntry> =
-                set.iter().map(|&l| SlotEntry { link: l, fake: false, kick_off: false }).collect();
+            let mut rslot = self.slot_pool.pop().unwrap_or_default();
+            rslot.entries.clear();
+            rslot.bursts.clear();
+            rslot.rop_after = None;
+            let mut set = std::mem::take(&mut self.set_buf);
+            set.clear();
+            set.extend_from_slice(slot);
+            rslot
+                .entries
+                .extend(set.iter().map(|&l| SlotEntry { link: l, fake: false, kick_off: false }));
             if self.cfg.insert_fake_links {
                 // Rotate the candidate order per slot so fake coverage
                 // cycles over the whole network.
-                let rot = (self.batch_counter as usize * 7 + i) % all_links.len().max(1);
-                let mut candidates = all_links.clone();
-                candidates.rotate_left(rot);
-                let added = graph.extend_to_maximal(&mut set, &candidates);
-                entries.extend(added.into_iter().map(|l| SlotEntry { link: l, fake: true, kick_off: false }));
+                let rot = (self.batch_counter as usize * 7 + i) % self.all_links.len().max(1);
+                self.candidates.clear();
+                self.candidates.extend_from_slice(&self.all_links[rot..]);
+                self.candidates.extend_from_slice(&self.all_links[..rot]);
+                let before = set.len();
+                graph.extend_to_maximal_in_place(&mut set, &self.candidates);
+                rslot.entries.extend(
+                    set[before..]
+                        .iter()
+                        .map(|&l| SlotEntry { link: l, fake: true, kick_off: false }),
+                );
             }
-            slots.push(RelativeSlot { entries, bursts: Vec::new(), rop_after: None });
+            self.set_buf = set;
+            out.batch.slots.push(rslot);
         }
 
         // 2. ROP-slot insertion. Boundary b sits after "previous slot" b:
         // boundary 0 = between the retained slot and slots[0] (only if a
         // retained slot exists), boundary i = between slots[i-1] and
         // slots[i].
-        let mut connecting_rop: Option<RopSlot> = None;
         if self.cfg.insert_rop {
             for &ap in polling_aps {
-                if !self.try_insert_rop(net, graph, ap, &mut slots, &mut connecting_rop) {
+                if !self.try_insert_rop(
+                    net,
+                    graph,
+                    ap,
+                    &mut out.batch.slots,
+                    &mut out.batch.connecting_rop,
+                ) {
                     out.unpolled_aps.push(ap);
                 }
             }
@@ -152,55 +256,72 @@ impl Converter {
         // slot is empty (or absent, for the very first batch) has no live
         // chain to trigger from: its links are marked kick-off and the
         // APs start them individually (§3.3's first-batch rule).
-        let mut connecting_bursts = Vec::new();
+        let slots = &mut out.batch.slots;
         match &self.retained {
-            None => mark_all_kick_offs(&mut slots, 0),
-            Some(retained) if retained.is_empty() => mark_all_kick_offs(&mut slots, 0),
+            None => mark_all_kick_offs(slots, 0),
+            Some(retained) if retained.is_empty() => mark_all_kick_offs(slots, 0),
             _ => {}
         }
         for i in 0..slots.len().saturating_sub(1) {
             if slots[i].entries.is_empty() {
-                mark_all_kick_offs(&mut slots, i + 1);
+                mark_all_kick_offs(slots, i + 1);
             }
         }
-        if let Some(retained) = self.retained.clone() {
-            if !retained.is_empty() {
-                let rop_aps: Vec<NodeId> =
-                    connecting_rop.as_ref().map(|r| r.aps.clone()).unwrap_or_default();
-                let (bursts, dropped) = self.assign_boundary(
+        if self.retained.as_ref().is_some_and(|r| !r.is_empty()) {
+            // The retained slot leaves `self` for the duration of the
+            // call so `assign_boundary` can use the scratch tables.
+            let retained = self.retained.take().unwrap_or_default();
+            let mut dropped = std::mem::take(&mut self.untriggered_buf);
+            dropped.clear();
+            {
+                let rop_aps: &[NodeId] = out
+                    .batch
+                    .connecting_rop
+                    .as_ref()
+                    .map(|r| r.aps.as_slice())
+                    .unwrap_or(&[]);
+                let next: &[SlotEntry] =
+                    out.batch.slots.first().map(|s| s.entries.as_slice()).unwrap_or(&[]);
+                self.assign_boundary(
                     net,
                     &retained,
-                    slots.first().map(|s| s.entries.as_slice()).unwrap_or(&[]),
-                    &rop_aps,
+                    next,
+                    rop_aps,
+                    &mut out.batch.connecting_bursts,
+                    &mut dropped,
                 );
-                connecting_bursts = bursts;
-                mark_kick_offs(&mut slots, 0, &dropped);
             }
+            self.retained = Some(retained);
+            mark_kick_offs(&mut out.batch.slots, 0, &dropped);
+            self.untriggered_buf = dropped;
         }
-        for i in 0..slots.len().saturating_sub(1) {
-            let prev_entries = slots[i].entries.clone();
+        for i in 0..out.batch.slots.len().saturating_sub(1) {
+            // Disjoint borrows: slot `i` is read (entries, rop_after) and
+            // written (bursts); slot `i + 1` is read then kick-off
+            // marked.
+            let (head, tail) = out.batch.slots.split_at_mut(i + 1);
+            let RelativeSlot { entries: prev_entries, bursts: prev_bursts, rop_after: prev_rop } =
+                &mut head[i];
             if prev_entries.is_empty() {
                 continue;
             }
-            let next_entries = slots[i + 1].entries.clone();
-            let rop_aps: Vec<NodeId> = slots[i]
-                .rop_after
-                .as_ref()
-                .map(|r| r.aps.clone())
-                .unwrap_or_default();
-            let (bursts, dropped) =
-                self.assign_boundary(net, &prev_entries, &next_entries, &rop_aps);
-            slots[i].bursts = bursts;
-            mark_kick_offs(&mut slots, i + 1, &dropped);
+            let rop_aps: &[NodeId] = prev_rop.as_ref().map(|r| r.aps.as_slice()).unwrap_or(&[]);
+            prev_bursts.clear();
+            let mut dropped = std::mem::take(&mut self.untriggered_buf);
+            dropped.clear();
+            self.assign_boundary(net, prev_entries, &tail[0].entries, rop_aps, prev_bursts, &mut dropped);
+            mark_kick_offs_in(&mut tail[0], &dropped);
+            self.untriggered_buf = dropped;
         }
 
-        // Retain the last slot for batch connection.
-        if let Some(last) = slots.last() {
-            self.retained = Some(last.entries.clone());
+        // Retain the last slot for batch connection (reusing the
+        // previous retained buffer).
+        if let Some(last) = out.batch.slots.last() {
+            let mut r = self.retained.take().unwrap_or_default();
+            r.clear();
+            r.extend_from_slice(&last.entries);
+            self.retained = Some(r);
         }
-
-        out.batch = RelativeBatch { connecting_bursts, connecting_rop, slots };
-        out
     }
 
     /// Try to give `ap` an ROP opportunity; returns success.
@@ -212,20 +333,10 @@ impl Converter {
         slots: &mut [RelativeSlot],
         connecting_rop: &mut Option<RopSlot>,
     ) -> bool {
-        let ap_links: Vec<LinkId> = net
-            .links()
-            .iter()
-            .filter(|l| l.ap == ap)
-            .map(|l| l.id)
-            .collect();
+        let ap_links = &self.links_of_ap[ap.index()];
         let compatible = |existing: &RopSlot| {
             existing.aps.iter().all(|&other| {
-                let other_links: Vec<LinkId> = net
-                    .links()
-                    .iter()
-                    .filter(|l| l.ap == other)
-                    .map(|l| l.id)
-                    .collect();
+                let other_links = &self.links_of_ap[other.index()];
                 ap_links
                     .iter()
                     .all(|&a| other_links.iter().all(|&b| !graph.conflicts(a, b)))
@@ -233,20 +344,14 @@ impl Converter {
         };
         // Boundary None sits between the retained slot and the first
         // slot; inner boundaries follow in execution order.
-        let boundaries: Vec<Option<usize>> = {
-            let mut b: Vec<Option<usize>> = Vec::new();
-            if self.retained.is_some() {
-                b.push(None);
-            }
-            b.extend((0..slots.len().saturating_sub(1)).map(Some));
-            b
-        };
+        let boundaries = (self.retained.is_some().then_some(None).into_iter())
+            .chain((0..slots.len().saturating_sub(1)).map(Some));
         for boundary in boundaries {
-            let prev_entries: Vec<SlotEntry> = match boundary {
-                None => self.retained.clone().unwrap_or_default(),
-                Some(i) => slots[i].entries.clone(),
+            let prev_entries: &[SlotEntry] = match boundary {
+                None => self.retained.as_deref().unwrap_or(&[]),
+                Some(i) => &slots[i].entries,
             };
-            if !self.slot_can_trigger(net, &prev_entries, ap) {
+            if !self.slot_can_trigger(net, prev_entries, ap) {
                 continue;
             }
             let slot_ref: &mut Option<RopSlot> = match boundary {
@@ -280,22 +385,24 @@ impl Converter {
     }
 
     /// Assign triggers at one boundary. Targets are the next slot's
-    /// senders plus the polling APs. Returns (bursts, untriggered
-    /// next-slot links).
+    /// senders plus the polling APs. Appends the burst assignments and
+    /// the untriggered next-slot links to the caller's buffers.
     fn assign_boundary(
-        &self,
+        &mut self,
         net: &Network,
         prev: &[SlotEntry],
         next: &[SlotEntry],
         rop_aps: &[NodeId],
-    ) -> (Vec<BurstAssignment>, Vec<LinkId>) {
+        bursts: &mut Vec<BurstAssignment>,
+        untriggered: &mut Vec<LinkId>,
+    ) {
         // Candidate broadcasters: both endpoints of every prev-slot link.
-        let mut broadcasters: Vec<NodeId> = Vec::new();
+        self.broadcasters.clear();
         for e in prev {
             let l = net.link(e.link);
             for n in [l.sender, l.receiver] {
-                if !broadcasters.contains(&n) {
-                    broadcasters.push(n);
+                if !self.broadcasters.contains(&n) {
+                    self.broadcasters.push(n);
                 }
             }
         }
@@ -305,53 +412,65 @@ impl Converter {
         // simultaneous burst phase (the engine's self-trigger path covers
         // them), but they still receive assignments: the redundancy is
         // what rides out partial failures (§3.2's cross-links).
-        let mut targets: Vec<(NodeId, Option<LinkId>)> = Vec::new();
+        self.targets.clear();
         for e in next {
             let sender = net.link(e.link).sender;
-            if !targets.iter().any(|&(n, _)| n == sender) {
-                targets.push((sender, Some(e.link)));
+            if !self.targets.iter().any(|&(n, _)| n == sender) {
+                self.targets.push((sender, Some(e.link)));
             }
         }
         for &ap in rop_aps {
-            if !targets.iter().any(|&(n, _)| n == ap) {
-                targets.push((ap, None));
+            if !self.targets.iter().any(|&(n, _)| n == ap) {
+                self.targets.push((ap, None));
             }
         }
 
-        // BTreeMaps, deliberately (lint rule D002): `outbound` is drained
-        // into the burst list and `inbound` seeds the per-pass trigger
-        // counts, so hash order here would let the §3.3 highest-RSS-first
-        // tie-breaks drift between runs as the code evolves.
-        let mut outbound: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        let mut inbound: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut untriggered: Vec<LinkId> = Vec::new();
+        // Per-node scratch tables stand in for the original
+        // `BTreeMap<NodeId, _>`s: node-index order *is* ascending NodeId
+        // order, so the drained burst list and every §3.3
+        // highest-RSS-first tie-break come out identically — and the
+        // tables are plain clears, not tree rebuilds (lint rule D002
+        // cares about iteration order, which stays deterministic).
+        let n = net.num_nodes();
+        for slot in &mut self.out_targets[..n] {
+            slot.1 = 0;
+        }
+        self.inbound[..n].fill(0);
 
         // Two passes: primary trigger for everyone, then secondary
         // triggers ("repeat the previous step to find the secondary
         // possible triggering node", §3.3).
         for pass in 0..self.cfg.max_inbound {
-            for &(target, link) in &targets {
-                if inbound.get(&target).copied().unwrap_or(0) > pass {
+            for ti in 0..self.targets.len() {
+                let (target, link) = self.targets[ti];
+                if usize::from(self.inbound[target.index()]) > pass {
                     continue; // already has a trigger from this pass
                 }
-                let best = broadcasters
-                    .iter()
-                    .filter(|&&b| {
-                        b != target
-                            && net.rss().get(b, target) >= self.cfg.trigger_min_rss
-                            && outbound.get(&b).map_or(0, Vec::len) < self.cfg.max_outbound
-                            && !outbound.get(&b).is_some_and(|t| t.contains(&target))
-                    })
-                    .max_by(|&&a, &&b| {
-                        net.rss()
-                            .get(a, target)
-                            .value()
-                            .total_cmp(&net.rss().get(b, target).value())
-                    });
+                // Single scan, one RSS lookup per broadcaster. Ties keep
+                // the *last* maximum (`is_ge`), matching the
+                // `Iterator::max_by` this replaces — the §3.3
+                // highest-RSS-first choice is byte-identical.
+                let mut best: Option<NodeId> = None;
+                let mut best_rss = f64::NEG_INFINITY;
+                for &b in &self.broadcasters {
+                    let (assigned, count) = &self.out_targets[b.index()];
+                    let rss = net.rss().get(b, target);
+                    if b != target
+                        && rss >= self.cfg.trigger_min_rss
+                        && *count < self.cfg.max_outbound.min(MAX_OUT)
+                        && !assigned[..*count].contains(&target)
+                        && (best.is_none() || rss.value().total_cmp(&best_rss).is_ge())
+                    {
+                        best = Some(b);
+                        best_rss = rss.value();
+                    }
+                }
                 match best {
-                    Some(&b) => {
-                        outbound.entry(b).or_default().push(target);
-                        *inbound.entry(target).or_default() += 1;
+                    Some(b) => {
+                        let (assigned, count) = &mut self.out_targets[b.index()];
+                        assigned[*count] = target;
+                        *count += 1;
+                        self.inbound[target.index()] += 1;
                     }
                     None if pass == 0 => {
                         if let Some(l) = link {
@@ -363,12 +482,13 @@ impl Converter {
             }
         }
 
-        // Untriggered targets' inbound entries must not linger.
-        let bursts = outbound
-            .into_iter()
-            .map(|(broadcaster, targets)| BurstAssignment { broadcaster, targets })
-            .collect();
-        (bursts, untriggered)
+        bursts.extend((0..n).filter_map(|i| {
+            let (assigned, count) = &self.out_targets[i];
+            (*count > 0).then(|| BurstAssignment {
+                broadcaster: NodeId(i as u32),
+                targets: assigned[..*count].iter().copied().collect(),
+            })
+        }));
     }
 
 }
@@ -376,10 +496,17 @@ impl Converter {
 /// Mark the given links of `slots[idx]` as kick-offs (no over-the-air
 /// trigger reaches their sender; the AP starts them individually).
 fn mark_kick_offs(slots: &mut [RelativeSlot], idx: usize, untriggered: &[LinkId]) {
-    if untriggered.is_empty() || idx >= slots.len() {
+    if let Some(slot) = slots.get_mut(idx) {
+        mark_kick_offs_in(slot, untriggered);
+    }
+}
+
+/// [`mark_kick_offs`] on an already-resolved slot.
+fn mark_kick_offs_in(slot: &mut RelativeSlot, untriggered: &[LinkId]) {
+    if untriggered.is_empty() {
         return;
     }
-    for e in slots[idx].entries.iter_mut() {
+    for e in slot.entries.iter_mut() {
         if untriggered.contains(&e.link) {
             e.kick_off = true;
         }
@@ -400,6 +527,7 @@ mod tests {
     use super::*;
     use domino_topology::presets::{fig13a, fig7};
     use domino_topology::PhyParams;
+    use std::collections::BTreeMap;
 
     fn downlinks(net: &Network) -> Vec<LinkId> {
         net.links().iter().filter(|l| l.is_downlink()).map(|l| l.id).collect()
@@ -488,7 +616,7 @@ mod tests {
         let slot0 = &outcome.batch.slots[0];
         let slot1 = &outcome.batch.slots[1];
         let triggered: Vec<NodeId> =
-            slot0.bursts.iter().flat_map(|b| b.targets.clone()).collect();
+            slot0.bursts.iter().flat_map(|b| b.targets.to_vec()).collect();
         let endpoints: Vec<NodeId> = slot0
             .entries
             .iter()
@@ -527,7 +655,7 @@ mod tests {
             .batch
             .connecting_bursts
             .iter()
-            .flat_map(|b| b.targets.clone())
+            .flat_map(|b| b.targets.to_vec())
             .collect();
         let endpoints: Vec<NodeId> = retained
             .iter()

@@ -23,4 +23,7 @@ pub use backlog::BacklogView;
 pub use converter::{ConversionOutcome, Converter, ConverterConfig};
 pub use rand_scheduler::RandScheduler;
 pub use sleep::{plan_batch, SleepPlan};
-pub use schedule::{BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule};
+pub use schedule::{
+    BurstAssignment, RelativeBatch, RelativeSlot, RopSlot, SlotEntry, StrictSchedule,
+    MAX_TRIGGER_TARGETS,
+};

@@ -15,15 +15,35 @@ use crate::schedule::StrictSchedule;
 use domino_topology::{ConflictGraph, LinkId};
 
 /// Rotating-queue greedy scheduler.
+///
+/// The pools at the bottom recycle slot storage between batches: a
+/// caller that hands each schedule back via [`RandScheduler::recycle`]
+/// keeps the steady-state compute loop allocation-free.
 #[derive(Clone, Debug)]
 pub struct RandScheduler {
     order: Vec<LinkId>,
+    slot_pool: Vec<Vec<LinkId>>,
+    spare: Vec<StrictSchedule>,
 }
 
 impl RandScheduler {
     /// A scheduler over `num_links` links in initial id order.
     pub fn new(num_links: usize) -> RandScheduler {
-        RandScheduler { order: (0..num_links as u32).map(LinkId).collect() }
+        RandScheduler {
+            order: (0..num_links as u32).map(LinkId).collect(),
+            slot_pool: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Hand a consumed schedule back for reuse by a later
+    /// [`RandScheduler::schedule_batch`].
+    pub fn recycle(&mut self, mut s: StrictSchedule) {
+        for mut v in s.slots.drain(..) {
+            v.clear();
+            self.slot_pool.push(v);
+        }
+        self.spare.push(s);
     }
 
     /// Current fairness order (mostly for inspection/testing).
@@ -43,9 +63,11 @@ impl RandScheduler {
         max_slots: usize,
     ) -> StrictSchedule {
         assert_eq!(backlog.len(), self.order.len(), "backlog size mismatch");
-        let mut slots = Vec::new();
+        let mut schedule = self.spare.pop().unwrap_or_default();
+        debug_assert!(schedule.slots.is_empty());
         for _ in 0..max_slots {
-            let mut chosen: Vec<LinkId> = Vec::new();
+            let mut chosen = self.slot_pool.pop().unwrap_or_default();
+            chosen.clear();
             for &l in &self.order {
                 if backlog[l.index()] == 0 {
                     continue;
@@ -55,6 +77,7 @@ impl RandScheduler {
                 }
             }
             if chosen.is_empty() {
+                self.slot_pool.push(chosen);
                 break;
             }
             for &l in &chosen {
@@ -64,9 +87,9 @@ impl RandScheduler {
             // preserving their relative order.
             self.order.retain(|l| !chosen.contains(l));
             self.order.extend(chosen.iter().copied());
-            slots.push(chosen);
+            schedule.slots.push(chosen);
         }
-        StrictSchedule { slots }
+        schedule
     }
 }
 

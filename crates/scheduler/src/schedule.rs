@@ -1,7 +1,14 @@
 //! Schedule data types: strict schedules (what an arbitrary scheduler
 //! emits) and relative schedules (what DOMINO executes).
 
-use domino_topology::{LinkId, NodeId};
+use domino_topology::{InlineVec, LinkId, NodeId};
+
+/// Inline capacity of a [`BurstAssignment`]'s target list. The converter
+/// clamps trigger assignment at `max_outbound.min(MAX_TRIGGER_TARGETS)`
+/// (4, Fig 9 — ablations only go below it), and the medium's `BURST_CAP`
+/// matches, so assignments convert to on-air bursts without truncation
+/// while keeping both inline types at event-queue-friendly sizes.
+pub const MAX_TRIGGER_TARGETS: usize = 4;
 
 /// A strict schedule: `slots[i]` is the set of links that transmit
 /// concurrently in slot `i` (paper §3.3, `S = [s1 … sk]`).
@@ -40,12 +47,13 @@ pub struct SlotEntry {
 /// A signature broadcast assignment: at the end of a slot, `broadcaster`
 /// transmits the signatures of `targets` (each a next-slot transmitter or
 /// a polling AP), capped at 4 by the outbound constraint.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BurstAssignment {
     /// The node sending the combined signatures.
     pub broadcaster: NodeId,
-    /// The nodes being triggered.
-    pub targets: Vec<NodeId>,
+    /// The nodes being triggered (inline: building an assignment never
+    /// touches the allocator).
+    pub targets: InlineVec<NodeId, MAX_TRIGGER_TARGETS>,
 }
 
 /// An ROP slot shared by non-conflicting APs (paper §3.3).

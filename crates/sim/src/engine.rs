@@ -29,15 +29,43 @@
 //!
 //! Events scheduled for the same instant are delivered in scheduling order
 //! (FIFO), which makes runs fully deterministic.
+//!
+//! # Implementation
+//!
+//! The queue is a hierarchical timer wheel ([`crate::wheel`]): O(1)
+//! scheduling and cancellation, amortized-O(1) delivery, and bounded memory
+//! under cancellation churn (entries are arena slots on a free list, not
+//! heap tombstones). The delivery order is the same `(time, seq)` total
+//! order the original binary-heap queue produced — that queue survives as
+//! [`crate::oracle::ReferenceQueue`], and the differential property suite
+//! in `crates/sim/tests/` drives arbitrary operation interleavings against
+//! both to pin the equivalence.
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{TimerWheel, WheelHandle};
 use domino_obs::{TraceEvent, TraceHandle};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Handles are generation-checked: after the event is delivered or
+/// cancelled the handle goes permanently stale, and a stale handle can
+/// never alias a later event even when its storage is reused.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// Pack a wheel `(index, generation)` pair.
+    #[inline]
+    fn pack(h: WheelHandle) -> EventHandle {
+        EventHandle((u64::from(h.gen) << 32) | u64::from(h.index))
+    }
+
+    /// Recover the wheel handle.
+    #[inline]
+    fn unpack(self) -> WheelHandle {
+        WheelHandle { index: self.0 as u32, gen: (self.0 >> 32) as u32 }
+    }
+}
 
 /// Default liveness budget: events allowed per liveness window before the
 /// engine declares a livelock. The ceiling has to clear the largest
@@ -86,40 +114,9 @@ struct Liveness {
     window_events: u64,
 }
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
-        // first. seq breaks ties FIFO.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Discrete-event queue plus simulation clock.
 pub struct Engine<E> {
-    queue: BinaryHeap<Entry<E>>,
-    now: SimTime,
-    next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    wheel: TimerWheel<E>,
     processed: u64,
     liveness: Option<Liveness>,
     tracer: TraceHandle,
@@ -129,7 +126,7 @@ impl<E> std::fmt::Debug for Engine<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Payloads need not be Debug; summarize the queue instead.
         f.debug_struct("Engine")
-            .field("now", &self.now)
+            .field("now", &self.now())
             .field("pending", &self.pending())
             .field("processed", &self.processed)
             .finish_non_exhaustive()
@@ -146,10 +143,7 @@ impl<E> Engine<E> {
     /// Create an engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Engine {
-            queue: BinaryHeap::new(),
-            now: SimTime::ZERO,
-            next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            wheel: TimerWheel::new(),
             processed: 0,
             liveness: None,
             tracer: TraceHandle::off(),
@@ -172,7 +166,7 @@ impl<E> Engine<E> {
         self.liveness = Some(Liveness {
             budget,
             window,
-            window_start: self.now,
+            window_start: self.now(),
             window_events: 0,
         });
     }
@@ -181,7 +175,7 @@ impl<E> Engine<E> {
     /// event (or zero before the first pop).
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.wheel.cursor())
     }
 
     /// Number of events delivered so far.
@@ -190,10 +184,11 @@ impl<E> Engine<E> {
         self.processed
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of events still pending. Cancelled events leave the count
+    /// immediately — the wheel has no tombstones.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.wheel.len()
     }
 
     /// True when no live events remain.
@@ -202,58 +197,51 @@ impl<E> Engine<E> {
         self.pending() == 0
     }
 
+    /// Arena high-water mark: event slots ever allocated. Bounded by the
+    /// peak number of *simultaneously* pending events regardless of how
+    /// many schedule/cancel cycles have run — the bounded-memory contract
+    /// the cancellation-churn stress test pins. Diagnostic only.
+    #[inline]
+    pub fn arena_slots(&self) -> usize {
+        self.wheel.arena_slots()
+    }
+
     /// Schedule `payload` at absolute time `at`.
     ///
     /// Panics if `at` is before the current time: the past is immutable.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventHandle {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Entry { time: at, seq, payload });
-        EventHandle(seq)
+        assert!(at >= self.now(), "cannot schedule into the past: {at:?} < {:?}", self.now());
+        EventHandle::pack(self.wheel.insert(at.as_nanos(), payload))
     }
 
     /// Schedule `payload` after `delay` from now.
     #[inline]
     pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventHandle {
-        self.schedule_at(self.now + delay, payload)
+        self.schedule_at(self.now() + delay, payload)
     }
 
     /// Schedule `payload` at the current instant (delivered after all
     /// already-queued events for this instant).
     #[inline]
     pub fn schedule_now(&mut self, payload: E) -> EventHandle {
-        self.schedule_at(self.now, payload)
+        self.schedule_at(self.now(), payload)
     }
 
-    /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending. Cancelling an already-delivered handle is a no-op.
+    /// Cancel a previously scheduled event in O(1). Returns `true` if the
+    /// event was still pending. Cancelling an already-delivered,
+    /// already-cancelled, or never-issued handle is a `false` no-op — the
+    /// generation check makes stale handles harmless.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
-        }
-        // We cannot cheaply verify delivery; tombstones are pruned on pop.
-        self.cancelled.insert(handle.0)
+        self.wheel.cancel(handle.unpack())
     }
 
     /// Pop the next event not later than `horizon`. Advances the clock to
     /// the event's timestamp. Returns `None` when the queue is exhausted or
     /// the next event lies beyond the horizon (the clock then stays put).
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        loop {
-            let head = self.queue.peek_mut()?;
-            if head.time > horizon {
-                return None;
-            }
-            let entry = std::collections::binary_heap::PeekMut::pop(head);
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now, "event queue delivered out of order");
-            self.now = entry.time;
-            self.processed += 1;
-            return Some((entry.time, entry.payload));
-        }
+        let (time, payload) = self.wheel.pop_min_until(horizon.as_nanos())?;
+        self.processed += 1;
+        Some((SimTime::from_nanos(time), payload))
     }
 
     /// Pop the next event regardless of horizon.
@@ -300,27 +288,18 @@ impl<E> Engine<E> {
 
     /// Timestamp of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Prune leading tombstones so the peek is accurate.
-        while let Some(head) = self.queue.peek_mut() {
-            if self.cancelled.contains(&head.seq) {
-                let e = std::collections::binary_heap::PeekMut::pop(head);
-                self.cancelled.remove(&e.seq);
-            } else {
-                return Some(head.time);
-            }
-        }
-        None
+        self.wheel.peek_min().map(SimTime::from_nanos)
     }
 
     /// Advance the clock to `at` without delivering anything. Used at the
     /// end of a run to account for trailing idle time. Panics when moving
     /// backwards or past a pending event.
     pub fn fast_forward(&mut self, at: SimTime) {
-        assert!(at >= self.now, "cannot move the clock backwards");
+        assert!(at >= self.now(), "cannot move the clock backwards");
         if let Some(next) = self.peek_time() {
             assert!(at <= next, "fast_forward would skip a pending event at {next:?}");
         }
-        self.now = at;
+        self.wheel.advance(at.as_nanos());
     }
 }
 
@@ -392,6 +371,28 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_delivery_returns_false() {
+        let mut e = Engine::new();
+        let h = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        assert!(e.pop().is_some());
+        assert!(!e.cancel(h), "delivered events are not cancellable");
+        assert_eq!(e.pending(), 0, "a late cancel must not corrupt pending()");
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_reused_storage() {
+        let mut e = Engine::new();
+        let h1 = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        assert!(e.cancel(h1));
+        // The replacement event reuses h1's storage slot.
+        let h2 = e.schedule_at(SimTime::from_micros(20), Ev::A(2));
+        assert_ne!(h1, h2);
+        assert!(!e.cancel(h1), "stale handle must miss the reused slot");
+        assert_eq!(e.pending(), 1);
+        assert!(e.cancel(h2));
+    }
+
+    #[test]
     fn pending_excludes_cancelled() {
         let mut e = Engine::new();
         let h = e.schedule_at(SimTime::from_micros(10), Ev::A(1));
@@ -445,6 +446,16 @@ mod tests {
         let mut e = Engine::new();
         e.schedule_at(SimTime::from_micros(10), Ev::A(1));
         e.fast_forward(SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn fast_forward_to_pending_event_keeps_it_deliverable() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_micros(10), Ev::A(1));
+        e.schedule_at(SimTime::from_micros(10), Ev::A(2));
+        e.fast_forward(SimTime::from_micros(10));
+        assert_eq!(e.pop(), Some((SimTime::from_micros(10), Ev::A(1))));
+        assert_eq!(e.pop(), Some((SimTime::from_micros(10), Ev::A(2))));
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! provides the equivalent foundation in Rust:
 //!
 //! * [`time`] — integer-nanosecond simulation clock types,
-//! * [`engine`] — a binary-heap event queue with FIFO tie-breaking,
-//!   cancellation, and horizon-bounded delivery,
+//! * [`engine`] — a hierarchical timer-wheel event queue with FIFO
+//!   tie-breaking, O(1) generation-checked cancellation, and
+//!   horizon-bounded delivery,
+//! * [`oracle`] — the original binary-heap queue, retained as the
+//!   differential-testing reference for the wheel,
 //! * [`rng`] — per-subsystem deterministic random streams.
 //!
 //! Everything is a pure function of `(configuration, seed)`; there is no
@@ -18,9 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod oracle;
 pub mod rng;
 pub mod time;
+mod wheel;
 
 pub use engine::{Engine, EventHandle, Livelock};
+pub use oracle::ReferenceQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

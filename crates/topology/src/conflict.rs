@@ -109,15 +109,20 @@ impl ConflictGraph {
     ///
     /// Returns the links that were added.
     pub fn extend_to_maximal(&self, set: &mut Vec<LinkId>, candidates: &[LinkId]) -> Vec<LinkId> {
+        let before = set.len();
+        self.extend_to_maximal_in_place(set, candidates);
+        set[before..].to_vec()
+    }
+
+    /// [`ConflictGraph::extend_to_maximal`] without materializing the
+    /// added-links list: callers that need it can diff on `set.len()`.
+    pub fn extend_to_maximal_in_place(&self, set: &mut Vec<LinkId>, candidates: &[LinkId]) {
         debug_assert!(self.is_independent(set));
-        let mut added = Vec::new();
         for &c in candidates {
             if self.compatible_with_all(c, set) {
                 set.push(c);
-                added.push(c);
             }
         }
-        added
     }
 }
 

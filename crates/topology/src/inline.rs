@@ -1,0 +1,114 @@
+//! A fixed-capacity inline vector for small, bounded payloads.
+
+/// A fixed-capacity inline vector for burst-sized payloads.
+///
+/// Bursts and trigger assignments ride inside frames, engine events, and
+/// AP programs, all of which are cloned on the simulator's hottest paths;
+/// with a handful of entries at most, heap-backed storage would spend
+/// more time in the allocator than on the copy itself. This stores the
+/// elements inline so cloning is a flat memcpy and constructing one
+/// allocates nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    len: u8,
+    items: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty list.
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec { len: 0, items: [T::default(); N] }
+    }
+
+    /// A one-element list.
+    pub fn of(item: T) -> InlineVec<T, N> {
+        let mut v = InlineVec::new();
+        v.push(item);
+        v
+    }
+
+    /// Append an element. Panics past the inline capacity — payload
+    /// sizes are bounded by construction (converter `max_outbound`).
+    pub fn push(&mut self, item: T) {
+        assert!((self.len as usize) < N, "inline capacity {N} exceeded");
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// The live elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(7);
+        v.push(9);
+        assert_eq!(v.as_slice(), &[7, 9]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn collect_and_eq() {
+        let a: InlineVec<u32, 8> = (0..5).collect();
+        let b: InlineVec<u32, 8> = (0..5).collect();
+        assert_eq!(a, b);
+        assert_eq!(InlineVec::<u32, 8>::of(3).as_slice(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline capacity")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(0);
+        v.push(1);
+        v.push(2);
+    }
+}

@@ -16,6 +16,7 @@
 pub mod builder;
 pub mod conflict;
 pub mod dynamics;
+pub mod inline;
 pub mod link;
 pub mod network;
 pub mod node;
@@ -24,6 +25,7 @@ pub mod rss;
 pub mod trace;
 
 pub use conflict::{ConflictGraph, PairKind, PairStats};
+pub use inline::InlineVec;
 pub use link::{Direction, Link, LinkId};
 pub use network::{Network, PhyParams};
 pub use node::{Node, NodeId, NodeRole, Position};

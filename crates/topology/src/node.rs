@@ -5,7 +5,7 @@ use core::fmt;
 /// Identifier of a wireless node, dense from zero within a [`Network`].
 ///
 /// [`Network`]: crate::network::Network
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

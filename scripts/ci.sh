@@ -45,6 +45,14 @@ for trace in "$TRACE_DIR"/*.jsonl; do
     ./target/release/domino-trace check "$trace"
 done
 
+echo "== differential oracle: timer wheel vs reference heap (fixed seed) =="
+# The engine's timer wheel is checked op-for-op against the (time, seq)
+# BinaryHeap oracle under a fixed master seed so failures replay exactly.
+# (The suite already ran once under the workspace test sweep with the
+# default seed; this run pins a second, independent exploration.)
+TESTKIT_SEED=271828 TESTKIT_CASES=512 \
+    cargo test -q --offline -p domino-sim --test differential
+
 echo "== lint: domino-lint (determinism & correctness rules) =="
 # Unwaived violations (or reasonless waivers) exit non-zero and fail CI.
 cargo run --release --offline -q -p domino-lint
