@@ -1,0 +1,28 @@
+//! Microbenchmark of the semantic linter: a full workspace scan —
+//! tokenize, parse, local rules, call graph, waiver resolution — is the
+//! first CI gate, so its cost bounds how fast any change can fail.
+
+use domino_lint::{lint_sources, workspace_files};
+use domino_testkit::bench::Harness;
+use std::path::Path;
+
+fn main() {
+    // Load the workspace once; the bench measures analysis, not disk.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).expect("workspace readable");
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            let rel = p.strip_prefix(&root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+            (rel, std::fs::read_to_string(p).expect("utf-8 source"))
+        })
+        .collect();
+
+    let mut h = Harness::new("lint");
+    h.bench("lint/workspace_scan", || {
+        let report = lint_sources(&sources);
+        assert!(report.is_clean(), "workspace must stay lint-clean");
+        report.violations.len()
+    });
+    h.finish();
+}

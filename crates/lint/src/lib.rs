@@ -5,93 +5,139 @@
 //! bit-exactness *enforced* rather than conventional.
 //!
 //! The headline claim of the paper (relative scheduling reproduces a strict
-//! schedule without clock sync) is verified here by exact-value pins over
-//! seeded runs (`tests/golden.rs`). Those pins are only meaningful while
-//! nothing nondeterministic can reach a scheduling decision: no wall-clock
-//! reads, no hash-order iteration, no ambient randomness. `domino-lint`
-//! walks every `.rs` file in the workspace with a real token-level lexer
-//! ([`tokenizer`]) and enforces rules D001–D006 ([`rules`]), honoring
-//! inline waivers that must carry a written reason ([`waiver`]), and
-//! reports as text or JSON with a CI-gateable exit code ([`report`]).
+//! schedule without clock sync) is verified by exact-value pins over seeded
+//! runs (`tests/golden.rs`). Those pins are only meaningful while nothing
+//! nondeterministic can reach a scheduling decision: no wall-clock reads,
+//! no hash-order iteration, no ambient randomness — and, since PR 6 bought
+//! its allocation floor and pinned float walk order, no stray heap
+//! allocation or float reassociation on the hot path either.
 //!
-//! Run it with `cargo run -p domino-lint` (add `--json` for the machine
-//! format); `scripts/ci.sh` gates on it. See DESIGN.md §"Determinism
-//! rules" for the paper-level rationale of each rule.
+//! Two analysis layers share one tokenizer ([`tokenizer`]):
+//!
+//! * **token-level** rules D001–D006 ([`rules::check_file`]) over the flat
+//!   stream of each file;
+//! * **semantic** rules D007–D010 over a parse tree ([`parser`]): the
+//!   file-local halves in [`rules::check_semantic`], and the cross-file
+//!   halves — call-graph reachability for the hot-path allocation rule and
+//!   duplicate RNG-stream detection — in [`callgraph`].
+//!
+//! Both layers honor inline waivers that must carry a written reason
+//! ([`waiver`]), and report as text or JSON with a CI-gateable exit code
+//! ([`report`]). Run `cargo run -p domino-lint` (add `--json` for the
+//! machine format, `--deny-unused-waivers` to make stale waivers fatal);
+//! `scripts/ci.sh` gates on it *before* the test suite and byte-diffs the
+//! JSON against the committed baseline `results/lint_findings.json`. See
+//! DESIGN.md §"Determinism rules" and §"Semantic lint architecture".
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod tokenizer;
 pub mod waiver;
 
 use report::{Report, UnusedWaiver, Violation};
-use rules::{FileCtx, RuleId};
+use rules::{FileCtx, Finding, RuleId};
 use std::path::{Path, PathBuf};
 
-/// Lint one file's source text. `path` is workspace-relative and decides
-/// which rules apply ([`FileCtx::from_path`]).
-pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
-    let tokens = tokenizer::tokenize(source);
-    let ctx = FileCtx::from_path(path);
-    let findings = rules::check_file(&ctx, &tokens);
-    let mut waivers = waiver::collect(&tokens);
-
-    let mut out = Vec::new();
-    for f in findings {
-        let w = waivers
-            .iter_mut()
-            .find(|w| waiver::covers(w, f.rule, f.line));
-        let waived = w.map(|w| {
-            w.used = true;
-            w.reason.clone()
-        });
-        out.push(Violation {
-            rule: f.rule,
-            file: path.to_string(),
-            line: f.line,
-            message: f.message,
-            waived,
-        });
+/// Lint a set of files as one workspace: token rules and file-local
+/// semantic rules per file, then the cross-file rules (D007 hot-path
+/// allocation over the call graph, D008 duplicate stream ids), then
+/// waiver resolution. This is the core pipeline; [`lint_source`] and
+/// [`lint_workspace`] are wrappers over it.
+pub fn lint_sources(files: &[(String, String)]) -> Report {
+    // Per-file pass: tokens live only inside this loop; everything the
+    // cross-file rules need is extracted into owned `FileSem` facts.
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    let mut sems: Vec<callgraph::FileSem> = Vec::with_capacity(files.len());
+    let mut local: Vec<Vec<Finding>> = Vec::with_capacity(files.len());
+    let mut waivers: Vec<Vec<waiver::Waiver>> = Vec::with_capacity(files.len());
+    for (path, source) in files {
+        let tokens = tokenizer::tokenize(source);
+        let ctx = FileCtx::from_path(path);
+        let parsed = parser::parse(&tokens);
+        let mut findings = rules::check_file(&ctx, &tokens);
+        findings.extend(rules::check_semantic(&ctx, &parsed));
+        findings.sort_by_key(|f| (f.line, f.rule));
+        // The token-level D003 and its let-bound extension can coincide.
+        findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+        sems.push(callgraph::extract(&parsed));
+        local.push(findings);
+        waivers.push(waiver::collect(&tokens));
+        ctxs.push(ctx);
     }
-    // Waiver hygiene: a waiver without a reason (or with an unparsable rule
-    // list) is itself a violation; a well-formed waiver that matched
-    // nothing is surfaced by `lint_files` as unused.
-    for w in &waivers {
-        if w.reason.is_empty() || w.rules.is_empty() {
+
+    // Cross-file pass.
+    let paths: Vec<String> = files.iter().map(|(p, _)| p.clone()).collect();
+    let graph_input: Vec<(FileCtx, callgraph::FileSem)> =
+        ctxs.iter().cloned().zip(sems).collect();
+    for (fi, finding) in callgraph::d007_hot_path_allocs(&graph_input)
+        .into_iter()
+        .chain(callgraph::d008_duplicate_streams(&graph_input, &paths))
+    {
+        local[fi].push(finding);
+    }
+
+    // Waiver resolution, per file.
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for (fi, path) in paths.iter().enumerate() {
+        let findings = std::mem::take(&mut local[fi]);
+        let file_waivers = &mut waivers[fi];
+        let mut out = Vec::with_capacity(findings.len());
+        for f in findings {
+            let w = file_waivers
+                .iter_mut()
+                .find(|w| waiver::covers(w, f.rule, f.line));
+            let waived = w.map(|w| {
+                w.used = true;
+                w.reason.clone()
+            });
             out.push(Violation {
-                rule: RuleId::W000,
-                file: path.to_string(),
-                line: w.line,
-                message: if w.rules.is_empty() {
-                    "waiver with unknown rule id; expected D001..D006".to_string()
-                } else {
-                    "waiver without a reason; write `// lint: allow(Dxxx) <why>`".to_string()
-                },
-                waived: None,
+                rule: f.rule,
+                file: path.clone(),
+                line: f.line,
+                message: f.message,
+                waived,
             });
         }
+        // Waiver hygiene: a waiver without a reason (or with an unparsable
+        // rule list) is itself a violation; a well-formed waiver that
+        // matched nothing is surfaced as unused.
+        for w in file_waivers.iter() {
+            if w.reason.is_empty() || w.rules.is_empty() {
+                out.push(Violation {
+                    rule: RuleId::W000,
+                    file: path.clone(),
+                    line: w.line,
+                    message: if w.rules.is_empty() {
+                        "waiver with unknown rule id; expected D001..D010".to_string()
+                    } else {
+                        "waiver without a reason; write `// lint: allow(Dxxx) <why>`".to_string()
+                    },
+                    waived: None,
+                });
+            } else if !w.used {
+                report.unused_waivers.push(UnusedWaiver { file: path.clone(), line: w.line });
+            }
+        }
+        out.sort_by_key(|v| (v.line, v.rule));
+        report.violations.extend(out);
     }
-    out.sort_by_key(|v| (v.line, v.rule));
-    out
+    report.violations.sort_by_key(|v| (v.file.clone(), v.line, v.rule));
+    report
+        .unused_waivers
+        .sort_by_key(|w| (w.file.clone(), w.line));
+    report
 }
 
-/// Unused, well-formed waivers of one file (for the stale-waiver warning).
-fn unused_waivers(path: &str, source: &str) -> Vec<UnusedWaiver> {
-    let tokens = tokenizer::tokenize(source);
-    let ctx = FileCtx::from_path(path);
-    let findings = rules::check_file(&ctx, &tokens);
-    let mut waivers = waiver::collect(&tokens);
-    for f in &findings {
-        if let Some(w) = waivers.iter_mut().find(|w| waiver::covers(w, f.rule, f.line)) {
-            w.used = true;
-        }
-    }
-    waivers
-        .into_iter()
-        .filter(|w| !w.used && !w.reason.is_empty() && !w.rules.is_empty())
-        .map(|w| UnusedWaiver { file: path.to_string(), line: w.line })
-        .collect()
+/// Lint one file's source text in isolation. `path` is workspace-relative
+/// and decides which rules apply ([`FileCtx::from_path`]). Single-file
+/// analysis can't see the call graph, so D007 needs the file to contain
+/// both a root and the allocation; the fixture tests use exactly that.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    lint_sources(&[(path.to_string(), source.to_string())]).violations
 }
 
 /// Recursively collect the workspace's `.rs` files under `root`, skipping
@@ -124,7 +170,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 /// and the self-tests share.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let files = workspace_files(root)?;
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -135,12 +181,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         // the lint total (every file is scanned, none can opt out by
         // encoding).
         let bytes = std::fs::read(path)?;
-        let source = String::from_utf8_lossy(&bytes);
-        report.violations.extend(lint_source(&rel, &source));
-        report.unused_waivers.extend(unused_waivers(&rel, &source));
+        inputs.push((rel, String::from_utf8_lossy(&bytes).into_owned()));
     }
-    report.violations.sort_by_key(|v| (v.file.clone(), v.line, v.rule));
-    Ok(report)
+    Ok(lint_sources(&inputs))
 }
 
 #[cfg(test)]
@@ -172,5 +215,49 @@ fn g(m: &std::collections::HashMap<u32, u32>) -> u32 {
         let v = lint_source("crates/stats/src/x.rs", src);
         assert!(v.iter().any(|v| v.rule == RuleId::W000));
         assert!(v.iter().any(|v| v.rule == RuleId::D006 && v.waived.is_none()));
+    }
+
+    #[test]
+    fn cross_file_d007_reaches_across_files() {
+        let files = vec![
+            (
+                "crates/sim/src/engine.rs".to_string(),
+                "impl Engine { pub fn pop(&mut self) { helper(self); } }".to_string(),
+            ),
+            (
+                "crates/mac/src/x.rs".to_string(),
+                "pub fn helper(e: &mut Engine) { let v = Vec::new(); }".to_string(),
+            ),
+        ];
+        let r = lint_sources(&files);
+        let d007: Vec<_> = r.violations.iter().filter(|v| v.rule == RuleId::D007).collect();
+        assert_eq!(d007.len(), 1, "{:?}", r.violations);
+        assert_eq!(d007[0].file, "crates/mac/src/x.rs");
+    }
+
+    #[test]
+    fn cross_file_d008_duplicate_streams() {
+        let files = vec![
+            (
+                "crates/sim/src/rng.rs".to_string(),
+                "pub mod streams { pub const A: u64 = 0x07; }".to_string(),
+            ),
+            (
+                "crates/traffic/src/gen.rs".to_string(),
+                "pub mod streams { pub const B: u64 = 0x07; }".to_string(),
+            ),
+        ];
+        let r = lint_sources(&files);
+        let d008: Vec<_> = r.violations.iter().filter(|v| v.rule == RuleId::D008).collect();
+        assert_eq!(d008.len(), 1, "{:?}", r.violations);
+        assert_eq!(d008[0].file, "crates/traffic/src/gen.rs");
+    }
+
+    #[test]
+    fn unused_waiver_is_reported_once() {
+        let src = "// lint: allow(D005) nothing here actually panics\nfn f() { let x = 1; }\n";
+        let r = lint_sources(&[("crates/sim/src/x.rs".to_string(), src.to_string())]);
+        assert_eq!(r.unused_waivers.len(), 1, "{:?}", r.unused_waivers);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 }

@@ -2,21 +2,28 @@
 //! non-zero on any unwaived violation.
 //!
 //! ```text
-//! cargo run -p domino-lint [-- --json] [--root <dir>] [--rules]
+//! cargo run -p domino-lint [-- --json] [--root <dir>] [--rules] [--deny-unused-waivers]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` unwaived violations, `2` usage or I/O error.
+//! `--deny-unused-waivers` turns stale waivers (well-formed, but matching
+//! no finding) from warnings into failures — CI runs with it so a waiver
+//! outliving its violation is deleted instead of quietly rotting.
+//!
+//! Exit codes: `0` clean, `1` unwaived violations (or, with
+//! `--deny-unused-waivers`, unused waivers), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut deny_unused = false;
     let mut root = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-unused-waivers" => deny_unused = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -32,6 +39,10 @@ fn main() -> ExitCode {
                     domino_lint::rules::RuleId::D004,
                     domino_lint::rules::RuleId::D005,
                     domino_lint::rules::RuleId::D006,
+                    domino_lint::rules::RuleId::D007,
+                    domino_lint::rules::RuleId::D008,
+                    domino_lint::rules::RuleId::D009,
+                    domino_lint::rules::RuleId::D010,
                     domino_lint::rules::RuleId::W000,
                 ] {
                     println!("{}  {}", rule.name(), rule.describe());
@@ -39,7 +50,9 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: domino-lint [--json] [--root <dir>] [--rules]");
+                println!(
+                    "usage: domino-lint [--json] [--root <dir>] [--rules] [--deny-unused-waivers]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -61,7 +74,14 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_text());
     }
-    if report.is_clean() {
+    let unused_fail = deny_unused && !report.unused_waivers.is_empty();
+    if unused_fail && !json {
+        eprintln!(
+            "domino-lint: {} unused waiver(s) with --deny-unused-waivers",
+            report.unused_waivers.len()
+        );
+    }
+    if report.is_clean() && !unused_fail {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

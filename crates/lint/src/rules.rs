@@ -13,19 +13,28 @@
 //! |------|-------|-----------------|
 //! | D001 | all but `testkit`, `bench` | `std::time` / `Instant` / `SystemTime` |
 //! | D002 | `scheduler` `mac` `sim` `medium` `faults` `obs` | iterating a `HashMap`/`HashSet` |
-//! | D003 | non-test code | `==`/`!=` against a float literal |
+//! | D003 | non-test code | `==`/`!=` against a float literal (or a local `let` bound to one) |
 //! | D004 | everywhere | `rand::`, `thread_rng`, OS entropy |
 //! | D005 | lib code of `phy` `scheduler` `mac` `sim` `faults` `obs` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
 //! | D006 | library code; `runner`/`obs` binaries | `println!`/… in libraries; prints with inline format specs in the CLI binaries |
+//! | D007 | fns reachable from `Engine::pop` / `Medium::begin` / `dispatch_batch` | `Vec::new`/`with_capacity`/`Box::new`/`format!`/`vec!`/`.to_vec()`/`.collect()` |
+//! | D008 | all but `testkit`, `lint` | bare-literal `SimRng` stream ids; duplicate stream ids across crates |
+//! | D009 | `sim` `medium` `mac` `scheduler` `faults` | float `.sum()`/`fold`/`partial_cmp`-based sorts |
+//! | D010 | lib code of `phy` `scheduler` `mac` `sim` `faults` `obs` | `xs[i ± j]` indexing; unchecked `+`/`-` on `as_nanos()`-style sim-time integers |
 //!
-//! The engine is token-level by design (no full parse, zero deps), so each
-//! rule is a *conservative approximation*: e.g. D003 only fires when one
-//! comparison operand is literally a float token, and D002 tracks idents
-//! that the same file declares with a hash-container type. False negatives
-//! are possible; false positives should be rare — and when a hit is
+//! D001–D006 are token-level predicates (this module); D007–D010 are
+//! *semantic* rules over the parse tree ([`crate::parser`]) — the
+//! file-local halves live in [`check_semantic`] here, the cross-file
+//! halves (call-graph reachability for D007, duplicate stream detection
+//! for D008) in [`crate::callgraph`]. Every rule is a *conservative
+//! approximation*: e.g. D003 only fires when one comparison operand is a
+//! float token or a local bound to one, and D007 over-approximates
+//! reachability by matching callees by name. False negatives are
+//! possible; false positives should be rare — and when a hit is
 //! intentional, an inline waiver (`// lint: allow(D00x) reason`) records
 //! why, reviewably, at the site.
 
+use crate::parser::{Expr, ParsedFile};
 use crate::tokenizer::{Token, TokenKind};
 
 /// Rule identifiers. `W000` is the meta-rule: a waiver without a reason.
@@ -43,6 +52,14 @@ pub enum RuleId {
     D005,
     /// Stdout/stderr output from library code.
     D006,
+    /// Heap allocation in functions reachable from the dispatch roots.
+    D007,
+    /// RNG stream discipline: bare-literal or duplicate stream ids.
+    D008,
+    /// Order-sensitive float reduction/comparison in sim-scope crates.
+    D009,
+    /// Raw index arithmetic / unchecked sim-time arithmetic.
+    D010,
     /// A waiver comment that carries no reason.
     W000,
 }
@@ -57,6 +74,10 @@ impl RuleId {
             "D004" => RuleId::D004,
             "D005" => RuleId::D005,
             "D006" => RuleId::D006,
+            "D007" => RuleId::D007,
+            "D008" => RuleId::D008,
+            "D009" => RuleId::D009,
+            "D010" => RuleId::D010,
             _ => return None,
         })
     }
@@ -70,6 +91,10 @@ impl RuleId {
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
             RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
+            RuleId::D008 => "D008",
+            RuleId::D009 => "D009",
+            RuleId::D010 => "D010",
             RuleId::W000 => "W000",
         }
     }
@@ -83,6 +108,10 @@ impl RuleId {
             RuleId::D004 => "ambient randomness: all RNG goes through SimRng with explicit (seed, stream)",
             RuleId::D005 => "unwrap/expect/panic!/unreachable!/todo! in phy/scheduler/mac/sim/faults library code",
             RuleId::D006 => "println!/eprintln!/dbg! in library code (runner/obs binaries: no inline format specs — print pre-rendered strings)",
+            RuleId::D007 => "allocation (Vec::new/with_capacity/Box::new/format!/vec!/.to_vec/.collect) in functions reachable from Engine::pop / Medium::begin / dispatch_batch",
+            RuleId::D008 => "SimRng stream ids must be named `streams` constants, unique across the workspace",
+            RuleId::D009 => "float .sum()/fold/partial_cmp-sorts in sim/medium/mac/scheduler/faults: reduction order must stay pinned",
+            RuleId::D010 => "raw `xs[i ± j]` indexing or unchecked +/- on as_nanos()-style sim-time integers in the no-panic crates",
             RuleId::W000 => "waiver without a reason: `// lint: allow(Dxxx) <why>` requires the why",
         }
     }
@@ -645,6 +674,274 @@ fn d006_render_path(
     }
 }
 
+// ------------------------------------------------------- semantic rules
+
+/// Crates whose float reductions feed golden outputs (D009 scope). `phy`
+/// is deliberately out: its DSP folds run inside one signature's sample
+/// buffer where evaluation order is fixed by construction, and the
+/// results reach the goldens only through `medium`/`mac` (in scope).
+const FLOAT_ORDER_CRATES: &[&str] = &["sim", "medium", "mac", "scheduler", "faults"];
+/// Crates exempt from D008: `testkit` defines the RNG substrate itself;
+/// `lint` mentions stream idioms in rule text and fixtures.
+const STREAM_EXEMPT_CRATES: &[&str] = &["testkit", "lint"];
+
+/// Run the file-local semantic rules over one parsed file: D008 (bare
+/// stream literals), D009 (float reduction order), D010 (index/sim-time
+/// arithmetic) and the D003 let-bound-float extension. The cross-file
+/// halves of D007/D008 live in [`crate::callgraph`].
+pub fn check_semantic(ctx: &FileCtx, parsed: &ParsedFile<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in parsed.fns.iter() {
+        d008_literal_stream(ctx, f.is_test, &f.body, &mut out);
+        if f.is_test {
+            continue;
+        }
+        d003_float_local(ctx, &f.body, &mut out);
+        d009_float_order(ctx, &f.body, &mut out);
+        d010_unchecked_arith(ctx, &f.body, &mut out);
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
+    // One finding per (rule, line): flat binary parsing can visit a site
+    // twice, and the token-level D003 may coincide with the extension.
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out
+}
+
+/// Strip single-child `Opaque`/`Block` wrappers (parenthesization noise).
+fn peel<'e, 'a>(mut e: &'e Expr<'a>) -> &'e Expr<'a> {
+    while let Expr::Opaque(inner) | Expr::Block(inner) = e {
+        match inner.as_slice() {
+            [only] => e = only,
+            _ => break,
+        }
+    }
+    e
+}
+
+/// Does any node in this subtree smell like `f64`/`f32`?
+fn has_float_hint(e: &Expr<'_>) -> bool {
+    let mut hit = false;
+    e.walk(&mut |x| {
+        hit = hit
+            || match x {
+                Expr::Float { .. } => true,
+                Expr::Cast { ty, .. } | Expr::Let { ty, .. } => {
+                    ty.iter().any(|t| matches!(*t, "f64" | "f32"))
+                }
+                Expr::Path { segs, .. } => segs.iter().any(|s| matches!(*s, "f64" | "f32")),
+                Expr::Method { turbofish, .. } => {
+                    turbofish.iter().any(|t| matches!(*t, "f64" | "f32"))
+                }
+                _ => false,
+            };
+    });
+    hit
+}
+
+/// D008, file-local half: a `SimRng::derive(seed, <int literal>)` stream
+/// id. Applies to test code too — a test colliding with a production
+/// stream silently correlates the sequences it asserts on.
+fn d008_literal_stream(
+    ctx: &FileCtx,
+    _is_test: bool,
+    body: &[Expr<'_>],
+    out: &mut Vec<Finding>,
+) {
+    if STREAM_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for e in body {
+        e.walk(&mut |x| {
+            let Expr::Call { callee, args, line } = x else { return };
+            let Expr::Path { segs, .. } = &**callee else { return };
+            let assoc = segs.len() >= 2
+                && segs.last() == Some(&"derive")
+                && matches!(segs[segs.len() - 2], "SimRng" | "Rng");
+            if !assoc {
+                return;
+            }
+            if let Some(Expr::Int { text, .. }) = args.get(1).map(peel) {
+                out.push(Finding {
+                    rule: RuleId::D008,
+                    line: *line,
+                    message: format!(
+                        "bare stream id `{text}` in `SimRng::derive`; name it in a `streams` module constant"
+                    ),
+                });
+            }
+        });
+    }
+}
+
+/// D003 extension: `==`/`!=` where an operand is a local `let` bound
+/// directly to a float literal in the same function. The token rule only
+/// sees literal operands; `let eps = 1e-9; … x == eps` slipped past it.
+fn d003_float_local(ctx: &FileCtx, body: &[Expr<'_>], out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    let mut float_locals: Vec<&str> = Vec::new();
+    for e in body {
+        e.walk(&mut |x| {
+            if let Expr::Let { name: Some(n), init: Some(init), .. } = x {
+                if matches!(peel(init), Expr::Float { .. }) {
+                    float_locals.push(n);
+                }
+            }
+        });
+    }
+    if float_locals.is_empty() {
+        return;
+    }
+    let is_float_local = |e: &Expr<'_>| {
+        matches!(peel(e), Expr::Path { segs, .. }
+            if segs.len() == 1 && float_locals.contains(&segs[0]))
+    };
+    for e in body {
+        e.walk(&mut |x| {
+            if let Expr::Binary { op: op @ ("==" | "!="), lhs, rhs, line } = x {
+                if is_float_local(lhs) || is_float_local(rhs) {
+                    out.push(Finding {
+                        rule: RuleId::D003,
+                        line: *line,
+                        message: format!(
+                            "float-bound local compared with `{op}`; use a tolerance or `total_cmp`"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+}
+
+/// Order-sensitive sort/search adapters whose comparator decides order.
+const COMPARATOR_SINKS: &[&str] = &[
+    "sort_by", "sort_unstable_by", "sort_by_key", "sort_unstable_by_key", "max_by", "min_by",
+    "max_by_key", "min_by_key", "binary_search_by",
+];
+
+/// D009: float reductions and `partial_cmp`-based ordering in the crates
+/// whose float results feed goldens. Reassociating a sum or letting a
+/// NaN-partial comparator pick an order moves pinned outputs.
+fn d009_float_order(ctx: &FileCtx, body: &[Expr<'_>], out: &mut Vec<Finding>) {
+    if !FLOAT_ORDER_CRATES.contains(&ctx.crate_name.as_str())
+        || ctx.is_bin
+        || ctx.is_test_file
+    {
+        return;
+    }
+    // `let x: f64 = it.sum();` hints float-ness through the ascription;
+    // track it while descending.
+    fn walk(e: &Expr<'_>, in_float_let: bool, out: &mut Vec<Finding>) {
+        if let Expr::Let { ty, init: Some(init), .. } = e {
+            let fl = in_float_let || ty.iter().any(|t| matches!(*t, "f64" | "f32"));
+            walk(init, fl, out);
+            return;
+        }
+        if let Expr::Method { name, turbofish, recv, args, line } = e {
+            let tf_float = turbofish.iter().any(|t| matches!(*t, "f64" | "f32"));
+            match *name {
+                "sum" | "product"
+                    if tf_float
+                        || (turbofish.is_empty() && (in_float_let || has_float_hint(recv))) =>
+                {
+                    out.push(Finding {
+                        rule: RuleId::D009,
+                        line: *line,
+                        message: format!(
+                            "float `.{name}()` reduction; reassociation moves goldens — keep the pinned loop order explicit"
+                        ),
+                    });
+                }
+                "fold" if args.first().is_some_and(has_float_hint) => {
+                    out.push(Finding {
+                        rule: RuleId::D009,
+                        line: *line,
+                        message: "float `fold` reduction; reassociation moves goldens — keep the pinned loop order explicit".to_string(),
+                    });
+                }
+                _ if COMPARATOR_SINKS.contains(name) => {
+                    let uses_partial = args.iter().any(|a| {
+                        let mut hit = false;
+                        a.walk(&mut |x| {
+                            hit = hit
+                                || match x {
+                                    Expr::Method { name, .. } => *name == "partial_cmp",
+                                    Expr::Path { segs, .. } => {
+                                        segs.last() == Some(&"partial_cmp")
+                                    }
+                                    _ => false,
+                                };
+                        });
+                        hit
+                    });
+                    if uses_partial {
+                        out.push(Finding {
+                            rule: RuleId::D009,
+                            line: *line,
+                            message: format!(
+                                "`.{name}` with `partial_cmp`; NaN makes the order unspecified — use `total_cmp`"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for c in e.children() {
+            walk(c, in_float_let, out);
+        }
+    }
+    for e in body {
+        walk(e, false, out);
+    }
+}
+
+/// Sim-time accessor methods whose integer results D010 guards.
+const SIM_TIME_ACCESSORS: &[&str] = &["as_nanos", "as_micros", "as_millis", "as_secs"];
+
+/// D010: raw `xs[i ± j]` indexing (out-of-bounds panics in exactly the
+/// crates D005 keeps panic-free) and unchecked `+`/`-` directly on
+/// `as_nanos()`-style sim-time integers (quiet wrap in release mode
+/// corrupts the schedule instead of failing).
+fn d010_unchecked_arith(ctx: &FileCtx, body: &[Expr<'_>], out: &mut Vec<Finding>) {
+    if !NO_PANIC_CRATES.contains(&ctx.crate_name.as_str()) || ctx.is_bin || ctx.is_test_file {
+        return;
+    }
+    for e in body {
+        e.walk(&mut |x| match x {
+            Expr::Index { index, line, .. } => {
+                if let Expr::Binary { op: op @ ("+" | "-"), .. } = peel(index) {
+                    out.push(Finding {
+                        rule: RuleId::D010,
+                        line: *line,
+                        message: format!(
+                            "raw `[i {op} j]` indexing in `{}`; use `get(..)` or checked index math",
+                            ctx.crate_name
+                        ),
+                    });
+                }
+            }
+            Expr::Binary { op: op @ ("+" | "-"), lhs, rhs, line } => {
+                let is_time = |e: &Expr<'_>| {
+                    matches!(peel(e), Expr::Method { name, .. }
+                        if SIM_TIME_ACCESSORS.contains(name))
+                };
+                if is_time(lhs) || is_time(rhs) {
+                    out.push(Finding {
+                        rule: RuleId::D010,
+                        line: *line,
+                        message: format!(
+                            "unchecked `{op}` on a sim-time integer; use checked/saturating math or `SimTime` ops"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +1006,105 @@ mod tests {
     fn differential_test_file_is_exempt() {
         let src = "fn t() { x.unwrap(); }";
         let f = run("crates/sim/tests/differential.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // ------------------------------------------------- semantic rules
+
+    fn run_sem(path: &str, src: &str) -> Vec<Finding> {
+        check_semantic(&ctx(path), &crate::parser::parse(&tokenize(src)))
+    }
+
+    #[test]
+    fn d008_flags_bare_literal_streams_even_in_tests() {
+        let src = "#[test]\nfn t() { let r = SimRng::derive(7, 3); }";
+        let f = run_sem("crates/sim/src/rng.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::D008);
+        let named = "fn f(seed: u64) { let r = SimRng::derive(seed, streams::WIRED_JITTER); }";
+        assert!(run_sem("crates/sim/src/rng.rs", named).is_empty());
+    }
+
+    #[test]
+    fn d009_turbofish_sum_and_let_ascription() {
+        let f = run_sem(
+            "crates/medium/src/medium.rs",
+            "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }",
+        );
+        assert_eq!(f.iter().filter(|x| x.rule == RuleId::D009).count(), 1, "{f:?}");
+        let f = run_sem(
+            "crates/medium/src/medium.rs",
+            "fn f() { let mw: f64 = xs.iter().map(|x| x.power).sum(); }",
+        );
+        assert_eq!(f.iter().filter(|x| x.rule == RuleId::D009).count(), 1, "{f:?}");
+        // Integer sums stay quiet.
+        let f = run_sem(
+            "crates/mac/src/workload.rs",
+            "fn f(v: &[u64]) -> u64 { v.iter().sum::<u64>() }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // phy is out of D009 scope.
+        let f = run_sem("crates/phy/src/ofdm.rs", "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }");
+        assert!(f.iter().all(|x| x.rule != RuleId::D009), "{f:?}");
+    }
+
+    #[test]
+    fn d009_partial_cmp_sorts_and_float_folds() {
+        let f = run_sem(
+            "crates/scheduler/src/rank.rs",
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::D009), "{f:?}");
+        let f = run_sem(
+            "crates/mac/src/x.rs",
+            "fn f(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::D009), "{f:?}");
+        // total_cmp sorts are the sanctioned form.
+        let f = run_sem(
+            "crates/scheduler/src/rank.rs",
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d010_index_arithmetic_and_sim_time() {
+        let f = run_sem(
+            "crates/phy/src/signature.rs",
+            "fn f(s: &[f64], t: usize, lag: usize) -> f64 { s[t + lag] }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::D010), "{f:?}");
+        let f = run_sem(
+            "crates/sim/src/time.rs",
+            "fn f(a: SimTime, d: u64) -> u64 { a.as_nanos() + d }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::D010), "{f:?}");
+        // Plain indexing and checked math stay quiet.
+        let f = run_sem(
+            "crates/sim/src/wheel.rs",
+            "fn f(s: &[u64], i: usize) -> u64 { s[i] + s.len() as u64 }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Out-of-scope crate (topology) never fires.
+        let f = run_sem("crates/topology/src/grid.rs", "fn f(s: &[u64], i: usize) -> u64 { s[i - 1] }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d003_extension_catches_float_bound_locals() {
+        let f = run_sem(
+            "crates/mac/src/x.rs",
+            "fn f(x: f64) -> bool { let eps = 1e-9; x == eps }",
+        );
+        assert!(f.iter().any(|x| x.rule == RuleId::D003), "{f:?}");
+        // A non-float local, or a tolerance comparison, stays quiet.
+        let f = run_sem(
+            "crates/mac/src/x.rs",
+            "fn f(x: f64) -> bool { let eps = 1e-9; (x - y).abs() < eps }",
+        );
+        assert!(f.iter().all(|x| x.rule != RuleId::D003), "{f:?}");
+        let f = run_sem("crates/mac/src/x.rs", "fn f(n: u64) -> bool { let k = 3; n == k }");
         assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -327,6 +327,157 @@ fn lifetimes_are_not_char_literals() {
     assert!(!toks.iter().any(|t| t.kind == TokenKind::Char));
 }
 
+// ------------------------------------------------- D003 let-bound extension
+
+#[test]
+fn d003_ext_flags_equality_through_float_bound_local() {
+    let bad = "fn f(x: f64) -> bool { let thresh = 0.5; x == thresh }";
+    assert_eq!(rules_at(SCHED, bad), vec![RuleId::D003]);
+    let bad2 = "fn f(x: f64) -> bool { let eps = 1e-9; eps != x }";
+    assert_eq!(rules_at(SCHED, bad2), vec![RuleId::D003]);
+}
+
+#[test]
+fn d003_ext_waiver_and_out_of_scope() {
+    let waived = "fn f(x: f64) -> bool {\n\
+                  let thresh = 0.5;\n\
+                  // lint: allow(D003) sentinel compare; exact bit pattern set above\n\
+                  x == thresh\n\
+                  }";
+    assert!(rules_at(SCHED, waived).is_empty());
+    // Ordering comparisons, integer-bound locals, and locals from another
+    // function stay clean.
+    let good = "fn f(x: f64) -> bool { let thresh = 0.5; x > thresh }\n\
+                fn g(n: u32) -> bool { let limit = 3; n == limit }\n\
+                fn h(x: f64, thresh: f64) -> bool { x == thresh }";
+    assert!(rules_at(SCHED, good).is_empty());
+}
+
+// ---------------------------------------------------------------- D007
+
+#[test]
+fn d007_flags_alloc_reachable_from_hot_roots() {
+    // Root and allocation in one file: pop → helper → Vec::new().
+    let bad = "impl Engine { pub fn pop(&mut self) { helper(); } }\n\
+               fn helper() { let v: Vec<u32> = Vec::new(); let _ = v; }";
+    assert_eq!(rules_at("crates/sim/src/engine.rs", bad), vec![RuleId::D007]);
+    // Allocation directly inside a root, via macro.
+    let bad2 = "pub fn dispatch_batch() { let s = format!(\"x\"); let _ = s; }";
+    assert_eq!(rules_at("crates/mac/src/x.rs", bad2), vec![RuleId::D007]);
+}
+
+#[test]
+fn d007_waiver_silences_the_alloc_site() {
+    let src = "impl Engine { pub fn pop(&mut self) { helper(); } }\n\
+               fn helper() {\n\
+               // lint: allow(D007) arena warm-up; runs once before the hot loop\n\
+               let v: Vec<u32> = Vec::new(); let _ = v;\n\
+               }";
+    assert!(rules_at("crates/sim/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn d007_out_of_scope_allocs_stay_clean() {
+    // Unreachable from any root: no finding.
+    let cold = "pub fn report() { let v: Vec<u32> = Vec::new(); let _ = v; }";
+    assert!(rules_at("crates/sim/src/report.rs", cold).is_empty());
+    // Excluded crates never join the graph, even with a root-shaped fn.
+    let excluded = "impl Engine { pub fn pop(&mut self) { let v: Vec<u32> = Vec::new(); } }";
+    assert!(rules_at("crates/testkit/src/sim.rs", excluded).is_empty());
+    // Test functions are not graph nodes.
+    let in_test = "impl Engine { pub fn pop(&mut self) {} }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v: Vec<u32> = Vec::new(); }\n}\n";
+    assert!(rules_at("crates/sim/src/engine.rs", in_test).is_empty());
+}
+
+// ---------------------------------------------------------------- D008
+
+#[test]
+fn d008_flags_bare_literal_stream_ids() {
+    let bad = "fn f() { let r = SimRng::derive(42, 7); let _ = r; }";
+    assert_eq!(rules_at("crates/sim/src/x.rs", bad), vec![RuleId::D008]);
+    // Applies inside test code too: collisions between test streams and
+    // simulation streams are exactly as silent.
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let r = SimRng::derive(1, 3); }\n}\n";
+    assert_eq!(rules_at("crates/sim/src/x.rs", in_test), vec![RuleId::D008]);
+}
+
+#[test]
+fn d008_waiver_and_out_of_scope() {
+    let waived = "fn f() {\n\
+                  // lint: allow(D008) stream id documented in rng.rs table; const lives upstream\n\
+                  let r = SimRng::derive(42, 7); let _ = r;\n\
+                  }";
+    assert!(rules_at("crates/sim/src/x.rs", waived).is_empty());
+    // A named constant is the fix, and the harness crates are exempt.
+    let named = "fn f() { let r = SimRng::derive(42, streams::TRAFFIC); let _ = r; }";
+    assert!(rules_at("crates/sim/src/x.rs", named).is_empty());
+    let harness = "fn f() { let r = SimRng::derive(42, 7); let _ = r; }";
+    assert!(rules_at("crates/testkit/src/x.rs", harness).is_empty());
+}
+
+// ---------------------------------------------------------------- D009
+
+#[test]
+fn d009_flags_float_reductions_and_comparator_sorts() {
+    let sum = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+    assert_eq!(rules_at(SCHED, sum), vec![RuleId::D009]);
+    let ascribed = "fn f(xs: &[f64]) -> f64 { let s: f64 = xs.iter().copied().sum(); s }";
+    assert_eq!(rules_at(SCHED, ascribed), vec![RuleId::D009]);
+    let fold = "fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, b| a + b) }";
+    assert_eq!(rules_at(SCHED, fold), vec![RuleId::D009]);
+    // medium is float-order scope but not no-panic scope, so the
+    // partial_cmp fixture isolates D009.
+    let sort = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    assert_eq!(rules_at("crates/medium/src/x.rs", sort), vec![RuleId::D009]);
+}
+
+#[test]
+fn d009_waiver_and_out_of_scope() {
+    let waived = "fn f(xs: &[f64]) -> f64 {\n\
+                  // lint: allow(D009) left fold over a pinned slice walk\n\
+                  xs.iter().sum::<f64>()\n\
+                  }";
+    assert!(rules_at(SCHED, waived).is_empty());
+    // Integer reductions, non-sim crates, and test code are out of scope.
+    let int_sum = "fn f(xs: &[u64]) -> u64 { xs.iter().sum::<u64>() }";
+    assert!(rules_at(SCHED, int_sum).is_empty());
+    let phy = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+    assert!(rules_at("crates/phy/src/dsp.rs", phy).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _: f64 = [1.0].iter().sum(); }\n}\n";
+    assert!(rules_at(SCHED, in_test).is_empty());
+}
+
+// ---------------------------------------------------------------- D010
+
+#[test]
+fn d010_flags_index_arithmetic_and_sim_time_arith() {
+    let idx = "fn f(xs: &[u32], i: usize) -> u32 { xs[i + 1] }";
+    assert_eq!(rules_at("crates/phy/src/x.rs", idx), vec![RuleId::D010]);
+    let sub = "fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }";
+    assert_eq!(rules_at("crates/mac/src/x.rs", sub), vec![RuleId::D010]);
+    let time = "fn f(t: SimTime, d: u64) -> u64 { t.as_nanos() + d }";
+    assert_eq!(rules_at("crates/sim/src/x.rs", time), vec![RuleId::D010]);
+}
+
+#[test]
+fn d010_waiver_and_out_of_scope() {
+    let waived = "fn f(xs: &[u32], i: usize) -> u32 {\n\
+                  // lint: allow(D010) caller guarantees i + 1 < xs.len()\n\
+                  xs[i + 1]\n\
+                  }";
+    assert!(rules_at("crates/phy/src/x.rs", waived).is_empty());
+    // Plain indexing, checked access, non-sim crates, and tests stay clean.
+    let plain = "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }";
+    assert!(rules_at("crates/phy/src/x.rs", plain).is_empty());
+    let checked = "fn f(xs: &[u32], i: usize) -> Option<u32> { xs.get(i + 1).copied() }";
+    assert!(rules_at("crates/phy/src/x.rs", checked).is_empty());
+    let stats = "fn f(xs: &[u32], i: usize) -> u32 { xs[i + 1] }";
+    assert!(rules_at("crates/stats/src/lib.rs", stats).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = [1u32, 2][0 + 1]; }\n}\n";
+    assert!(rules_at("crates/phy/src/x.rs", in_test).is_empty());
+}
+
 // ---------------------------------------------------------- property test
 
 #[test]

@@ -1,0 +1,78 @@
+//! Property tests for the semantic layer: the forgiving parser and the
+//! extraction pass must be total — any byte soup, token soup, or mangled
+//! Rust fragment parses to *some* tree without panicking, and the
+//! downstream fact extraction accepts whatever comes out. CI replays the
+//! suite under `TESTKIT_SEED=271828` so a regression reproduces exactly.
+
+use domino_lint::callgraph;
+use domino_lint::parser;
+use domino_lint::rules::{check_semantic, FileCtx};
+use domino_lint::tokenizer::tokenize;
+
+/// The full per-file semantic pipeline: tokenize → parse → local rules →
+/// fact extraction. Each stage must accept the previous one's output for
+/// arbitrary input.
+fn pipeline(path: &str, src: &str) {
+    let tokens = tokenize(src);
+    let parsed = parser::parse(&tokens);
+    let ctx = FileCtx::from_path(path);
+    let _ = check_semantic(&ctx, &parsed);
+    let _ = callgraph::extract(&parsed);
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    domino_testkit::prop::check("parser_total_bytes", |g| {
+        let bytes = g.vec(0, 300, |g| g.u64(0, 255) as u8);
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        pipeline("crates/sim/src/x.rs", &src);
+    });
+}
+
+#[test]
+fn parser_never_panics_on_rusty_fragments() {
+    // Token soup biased toward the constructs the parser models: items,
+    // groups (including unbalanced ones), bindings, calls, operators.
+    const PIECES: &[&str] = &[
+        "fn", "impl", "for", "where", "let", "if", "else", "while", "match",
+        "mod", "streams", "const", "pub", "use", "#[test]", "#[cfg(test)]",
+        "f", "Engine", "Self", "self", ".", "::", "<f64>", "::<f64>",
+        "(", ")", "{", "}", "[", "]", "<", ">", ",", ";", "=", "=>", "->",
+        "+", "-", "==", "!=", "&", "&&", "|", "||", "!", "..", "u64", ":",
+        "0.5", "1e9", "42", "0x1F", "sum", "fold", "derive", "Vec::new",
+        "collect", "partial_cmp", "as_nanos", "as", "move", "|a, b|",
+        "\"s\"", "'a", "'x'", "//c\n", "/*b*/", "\n",
+    ];
+    domino_testkit::prop::check("parser_total_fragments", |g| {
+        let n = g.usize(0, 40);
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(PIECES[g.usize(0, PIECES.len() - 1)]);
+            src.push(' ');
+        }
+        pipeline("crates/mac/src/x.rs", &src);
+    });
+}
+
+#[test]
+fn parser_line_numbers_stay_in_range() {
+    // Every function item the parser finds must carry a line number that
+    // exists in the source — the waiver matcher depends on it.
+    domino_testkit::prop::check("parser_lines_bounded", |g| {
+        let n = g.usize(1, 10);
+        let mut src = String::new();
+        for i in 0..n {
+            if g.bool() {
+                src.push_str("#[test]\n");
+            }
+            src.push_str(&format!("fn f{i}() {{ let x = {i}; }}\n"));
+        }
+        let tokens = tokenize(&src);
+        let parsed = parser::parse(&tokens);
+        let lines = src.lines().count() as u32;
+        for f in &parsed.fns {
+            assert!(f.line >= 1 && f.line <= lines, "fn line {} out of range", f.line);
+        }
+        assert_eq!(parsed.fns.len(), n, "every top-level fn item is found");
+    });
+}

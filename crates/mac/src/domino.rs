@@ -575,7 +575,9 @@ impl World {
                         next_senders: &[NodeId]|
          -> Option<Burst> {
             assignments.iter().find(|b| b.broadcaster == node).map(|b| Burst {
+                // lint: allow(D007) collect into array-backed InlineVec<_, BURST_CAP>; no heap
                 codes: b.targets.iter().map(|t| sigs[t.index()]).collect(),
+                // lint: allow(D007) collect into array-backed InlineVec<_, BURST_CAP>; no heap
                 targets: b.targets.iter().copied().collect(),
                 marker,
                 slot,
@@ -589,6 +591,7 @@ impl World {
         let mut sender_bufs = std::mem::take(&mut self.slot_senders);
         for (i, s) in batch.slots.iter().enumerate() {
             if sender_bufs.len() <= i {
+                // lint: allow(D007) one-time pool growth; buffers recycled across batches via World::slot_senders
                 sender_bufs.push(Vec::new());
             }
             let buf = &mut sender_bufs[i];
@@ -684,6 +687,7 @@ impl World {
                     let rop_before = if i == 0 {
                         batch.connecting_rop.is_some()
                     } else {
+                        // lint: allow(D010) i >= 1 in this branch: the i == 0 arm is above
                         batch.slots[i - 1].rop_after.is_some()
                     };
                     actions.push(ApAction {

@@ -235,7 +235,13 @@ impl RunStats {
         if means.is_empty() {
             0.0
         } else {
-            means.iter().sum::<f64>() / means.len() as f64
+            // Explicit left-to-right fold: same result as `.sum()` today, but
+            // the pinned association order survives future refactors (D009).
+            let mut total = 0.0;
+            for m in &means {
+                total += m;
+            }
+            total / means.len() as f64
         }
     }
 

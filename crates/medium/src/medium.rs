@@ -262,6 +262,7 @@ impl Medium {
             .iter()
             .filter(|t| t.start < now)
             .map(|t| self.rss_mw(t.frame.src, node))
+            // lint: allow(D009) sequential left fold over the insertion-ordered `active` Vec; order already pinned
             .sum();
         mw >= self.cs_threshold_mw
     }

@@ -292,7 +292,7 @@ impl<'a> Scanner<'a> {
             .map_err(|e| ParseError { line: self.line, msg: format!("bad number: {e}") })
     }
 
-    fn value(&mut self) -> Result<Val, ParseError> {
+    fn parse_value(&mut self) -> Result<Val, ParseError> {
         self.skip_ws();
         match self.peek() {
             Some(b'"') => Ok(Val::Str(self.string()?)),
@@ -352,7 +352,7 @@ impl<'a> Scanner<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.expect_byte(b':')?;
-            let value = self.value()?;
+            let value = self.parse_value()?;
             map.insert(key, value);
             self.skip_ws();
             match self.bump() {

@@ -72,6 +72,7 @@ pub fn synthesize_burst(
         for &ci in &sender.code_indices {
             let code = family.code(ci);
             for (t, &chip) in code.chips().iter().enumerate() {
+                // lint: allow(D010) samples sized CODE_LENGTH + max(delay_chips) above; t < CODE_LENGTH keeps the sum in bounds
                 samples[t + sender.delay_chips] += phasor * f64::from(chip);
             }
         }
@@ -193,6 +194,7 @@ impl Correlator {
                 let est = peak.value / CODE_LENGTH as f64;
                 let code = family.code(ci);
                 for (t, &chip) in code.chips().iter().enumerate() {
+                    // lint: allow(D010) peak.lag <= samples.len() - code.len() by the max_lag clamp in `peak`; sum stays in bounds
                     residual[t + peak.lag] -= est * f64::from(chip);
                 }
             }
@@ -200,8 +202,9 @@ impl Correlator {
         detected
     }
 
-    /// Convenience: does `samples` contain `code_index`?
-    pub fn contains(
+    /// Convenience: does `samples` contain `code_index`? (Named to avoid
+    /// shadowing the ubiquitous `slice::contains` in call-graph analyses.)
+    pub fn contains_code(
         &self,
         family: &GoldFamily,
         samples: &[Complex],

@@ -53,6 +53,16 @@ pub mod streams {
 mod tests {
     use super::*;
 
+    // Named stream ids for the statistical self-tests (D008). Values match
+    // the original bare literals so the pinned sequences are unchanged;
+    // these streams are test-local and never reach a simulation.
+    const T_UNIFORM: u64 = 0;
+    const T_NORMAL: u64 = 1;
+    const T_EXPONENTIAL: u64 = 2;
+    const T_CHANCE: u64 = 1;
+    const T_SHUFFLE: u64 = 5;
+    const T_PICK: u64 = 6;
+
     #[test]
     fn same_seed_same_stream_reproduces() {
         let mut a = SimRng::derive(42, streams::TRAFFIC);
@@ -72,7 +82,7 @@ mod tests {
 
     #[test]
     fn uniform_in_unit_interval() {
-        let mut r = SimRng::derive(7, 0);
+        let mut r = SimRng::derive(7, T_UNIFORM);
         for _ in 0..10_000 {
             let x = r.uniform();
             assert!((0.0..1.0).contains(&x));
@@ -81,7 +91,7 @@ mod tests {
 
     #[test]
     fn normal_moments() {
-        let mut r = SimRng::derive(3, 1);
+        let mut r = SimRng::derive(3, T_NORMAL);
         let n = 200_000;
         let (mut sum, mut sumsq) = (0.0, 0.0);
         for _ in 0..n {
@@ -97,7 +107,7 @@ mod tests {
 
     #[test]
     fn exponential_mean() {
-        let mut r = SimRng::derive(9, 2);
+        let mut r = SimRng::derive(9, T_EXPONENTIAL);
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
@@ -105,7 +115,7 @@ mod tests {
 
     #[test]
     fn chance_extremes() {
-        let mut r = SimRng::derive(1, 1);
+        let mut r = SimRng::derive(1, T_CHANCE);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
         assert!(!r.chance(-1.0));
@@ -114,7 +124,7 @@ mod tests {
 
     #[test]
     fn shuffle_is_permutation() {
-        let mut r = SimRng::derive(5, 5);
+        let mut r = SimRng::derive(5, T_SHUFFLE);
         let mut v: Vec<u32> = (0..50).collect();
         r.shuffle(&mut v);
         let mut sorted = v.clone();
@@ -124,7 +134,7 @@ mod tests {
 
     #[test]
     fn pick_index_bounds() {
-        let mut r = SimRng::derive(6, 6);
+        let mut r = SimRng::derive(6, T_PICK);
         assert_eq!(r.pick_index(0), None);
         for _ in 0..100 {
             assert!(r.pick_index(7).unwrap() < 7);

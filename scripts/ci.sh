@@ -16,6 +16,17 @@ echo "== tier-1: build (whole workspace, all targets, no network) =="
 # domino-trace binaries the later steps drive.
 cargo build --release --offline --workspace --bins --benches
 
+echo "== lint gate: domino-lint (before any test runs) =="
+# The semantic linter is the cheapest gate with the widest blast radius —
+# a hot-path allocation or float-order regression fails here in seconds,
+# before the test sweep spends minutes. --deny-unused-waivers keeps the
+# waiver ledger honest, and the --json run is byte-diffed against the
+# committed baseline so any drift in findings (new, fixed, or re-waived)
+# must be reviewed as part of the change that caused it.
+cargo run --release --offline -q -p domino-lint -- --deny-unused-waivers
+cargo run --release --offline -q -p domino-lint -- --json | diff -u results/lint_findings.json - \
+    || { echo "ERROR: lint findings drifted from results/lint_findings.json; regenerate with: cargo run -q -p domino-lint -- --json > results/lint_findings.json" >&2; exit 1; }
+
 echo "== tier-1: test =="
 cargo test -q --offline --workspace
 
@@ -53,9 +64,11 @@ echo "== differential oracle: timer wheel vs reference heap (fixed seed) =="
 TESTKIT_SEED=271828 TESTKIT_CASES=512 \
     cargo test -q --offline -p domino-sim --test differential
 
-echo "== lint: domino-lint (determinism & correctness rules) =="
-# Unwaived violations (or reasonless waivers) exit non-zero and fail CI.
-cargo run --release --offline -q -p domino-lint
+echo "== parser fuzz replay: lint parser total under pinned seed =="
+# The lint parser must stay total (never panic) on arbitrary token soup;
+# the pinned seed makes any regression replay exactly.
+TESTKIT_SEED=271828 TESTKIT_CASES=512 \
+    cargo test -q --offline -p domino-lint --test parser_fuzz
 
 echo "== lint: clippy =="
 # The container may lack clippy; the curated [workspace.lints] clippy set
