@@ -1,0 +1,190 @@
+//! The append-only resume ledger.
+//!
+//! While a campaign runs, every completed cell is recorded as one line in
+//! `<out>/ledger.txt` *after* its cell file is durably written. On
+//! `--resume`, cells present in the ledger are skipped — provided the
+//! cell file on disk still hashes to the digest the ledger recorded, so a
+//! tampered or half-written cell file re-runs instead of poisoning the
+//! merged report.
+//!
+//! Format (line-oriented, append-only):
+//!
+//! ```text
+//! # domino campaign ledger v1
+//! campaign <name> <fingerprint>
+//! done <cell_id> <sha256 of cell text> <livelocks> <watchdog_storms> [<class>=<n>…]
+//! ```
+//!
+//! The header binds the ledger to the code fingerprint that produced it:
+//! resuming under different code would splice results from two different
+//! programs into one report, so the sweep driver refuses it. Because
+//! writes are append-only, only the *final* line can ever be torn by an
+//! interruption; a malformed final line is therefore dropped silently,
+//! while a malformed interior line is a hard error (the file is not a
+//! ledger this code wrote).
+//!
+//! This module is pure text — parsing and rendering only. File IO stays
+//! in `domino-runner::sweep`, which owns the campaign directory.
+
+/// Header line of every ledger file.
+pub const LEDGER_MAGIC: &str = "# domino campaign ledger v1";
+
+/// One completed cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Cell identifier, `<experiment>.<scale>.s<seed>`.
+    pub cell: String,
+    /// Hex SHA-256 of the cell's rendered output text.
+    pub digest: String,
+    /// Livelock count from the run digest.
+    pub livelocks: u64,
+    /// Watchdog-storm count from the run digest.
+    pub watchdog_storms: u64,
+    /// Fault-class counters, in the order the run digest reported them.
+    pub fault_classes: Vec<(String, u64)>,
+}
+
+/// A parsed ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ledger {
+    /// Campaign name from the binding line.
+    pub name: String,
+    /// Code fingerprint the recorded cells were produced under.
+    pub fingerprint: String,
+    /// Completed cells, in completion order.
+    pub entries: Vec<Entry>,
+}
+
+impl Ledger {
+    /// Look up a completed cell by id. The **last** matching entry wins:
+    /// if a cell was re-run (e.g. its file failed digest verification on
+    /// a previous resume), the newer append supersedes the old one.
+    pub fn get(&self, cell_id: &str) -> Option<&Entry> {
+        self.entries.iter().rev().find(|e| e.cell == cell_id)
+    }
+}
+
+/// Render the two header lines that open a fresh ledger.
+pub fn render_header(name: &str, fingerprint: &str) -> String {
+    format!("{LEDGER_MAGIC}\ncampaign {name} {fingerprint}\n")
+}
+
+/// Render one `done` line (including the trailing newline).
+pub fn render_entry(e: &Entry) -> String {
+    let mut line = format!("done {} {} {} {}", e.cell, e.digest, e.livelocks, e.watchdog_storms);
+    for (class, n) in &e.fault_classes {
+        line.push_str(&format!(" {class}={n}"));
+    }
+    line.push('\n');
+    line
+}
+
+fn parse_entry(line: &str) -> Option<Entry> {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("done") {
+        return None;
+    }
+    let cell = toks.next()?.to_string();
+    let digest = toks.next()?.to_string();
+    if digest.len() != 64 {
+        return None;
+    }
+    let livelocks = toks.next()?.parse().ok()?;
+    let watchdog_storms = toks.next()?.parse().ok()?;
+    let mut fault_classes = Vec::new();
+    for tok in toks {
+        let (class, n) = tok.split_once('=')?;
+        fault_classes.push((class.to_string(), n.parse().ok()?));
+    }
+    Some(Entry { cell, digest, livelocks, watchdog_storms, fault_classes })
+}
+
+/// Parse a ledger file's text. A malformed final line is treated as a
+/// torn append and dropped; any other malformed line is an error.
+pub fn parse(text: &str) -> Result<Ledger, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut it = lines.iter().enumerate();
+    if it.next().map(|(_, l)| *l) != Some(LEDGER_MAGIC) {
+        return Err("ledger: bad header (not a campaign ledger)".to_string());
+    }
+    let Some((_, binding)) = it.next() else {
+        return Err("ledger: missing campaign binding line".to_string());
+    };
+    let mut btoks = binding.split_ascii_whitespace();
+    let (name, fingerprint) = match (btoks.next(), btoks.next(), btoks.next(), btoks.next()) {
+        (Some("campaign"), Some(n), Some(f), None) if f.len() == 64 => {
+            (n.to_string(), f.to_string())
+        }
+        _ => return Err("ledger: bad campaign binding line".to_string()),
+    };
+    let last = lines.len() - 1;
+    let mut entries = Vec::new();
+    for (idx, line) in it {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(line) {
+            Some(e) => entries.push(e),
+            None if idx == last => {
+                // Torn final append: the cell was never acknowledged, so
+                // dropping it just means that cell re-runs on resume.
+            }
+            None => return Err(format!("ledger: malformed line {}: {line}", idx + 1)),
+        }
+    }
+    Ok(Ledger { name, fingerprint, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> String {
+        "ab".repeat(32)
+    }
+
+    fn entry(cell: &str) -> Entry {
+        Entry {
+            cell: cell.to_string(),
+            digest: "cd".repeat(32),
+            livelocks: 2,
+            watchdog_storms: 1,
+            fault_classes: vec![("ap_crashes".to_string(), 3), ("stale_reports".to_string(), 0)],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut text = render_header("nightly", &fp());
+        text.push_str(&render_entry(&entry("fig05_rop_samples.quick.s1")));
+        text.push_str(&render_entry(&Entry { fault_classes: vec![], ..entry("table1_params.quick.s2") }));
+        let ledger = parse(&text).unwrap();
+        assert_eq!(ledger.name, "nightly");
+        assert_eq!(ledger.fingerprint, fp());
+        assert_eq!(ledger.entries.len(), 2);
+        assert_eq!(ledger.entries[0], entry("fig05_rop_samples.quick.s1"));
+        assert!(ledger.get("table1_params.quick.s2").is_some());
+        assert!(ledger.get("missing.quick.s1").is_none());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_interior_garbage_is_fatal() {
+        let mut text = render_header("nightly", &fp());
+        text.push_str(&render_entry(&entry("a.quick.s1")));
+        let torn = format!("{text}done b.quick.s2 deadbeef"); // truncated mid-line
+        let ledger = parse(&torn).unwrap();
+        assert_eq!(ledger.entries.len(), 1, "torn tail dropped");
+
+        let interior = format!("{text}garbage line\n{}", render_entry(&entry("c.quick.s3")));
+        assert!(parse(&interior).is_err(), "interior garbage is fatal");
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(parse("").is_err());
+        assert!(parse("not a ledger\n").is_err());
+        assert!(parse(LEDGER_MAGIC).is_err(), "missing binding");
+        assert!(parse(&format!("{LEDGER_MAGIC}\ncampaign n short\n")).is_err());
+        assert!(parse(&format!("{LEDGER_MAGIC}\nbound n {}\n", fp())).is_err());
+    }
+}

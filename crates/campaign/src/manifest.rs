@@ -1,0 +1,246 @@
+//! The declarative campaign manifest: a hand-rolled, line-based grammar
+//! for parameter grids.
+//!
+//! A campaign file names a set of experiments and the scales and seeds to
+//! sweep them over; the grid expands into a deterministic, duplicate-free
+//! cell list. The grammar is deliberately tiny (no external parser
+//! dependencies, trivially diffable in a PR):
+//!
+//! ```text
+//! # comment                    blank lines and #-comments are skipped
+//! campaign nightly             display name (single token)
+//! experiments fig05 table1     appends to the experiment list
+//! scales quick full            appends scales (quick | full)
+//! seeds 1 2 5..8               appends seeds; a..b is inclusive
+//! ```
+//!
+//! Repeated directives append, so long grids can be split across lines.
+//! Defaults when a directive is absent: `scales quick`, `seeds 1`. The
+//! expansion order is experiment-major, then scale, then seed — the same
+//! order every time, which is what makes the resume ledger and the merged
+//! report deterministic.
+//!
+//! Experiment names are *not* validated here — the registry lives in
+//! `domino-runner`, which sits above this crate; `runner::sweep` rejects
+//! unknown names against the registry before any cell runs.
+
+/// One point of the expanded grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Experiment name, e.g. `fig05_rop_samples`.
+    pub experiment: String,
+    /// Scale name: `quick` or `full`.
+    pub scale: String,
+    /// PRNG seed for the run.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Stable identifier used in ledger lines, cell file names, and the
+    /// merged report: `<experiment>.<scale>.s<seed>`.
+    pub fn id(&self) -> String {
+        format!("{}.{}.s{}", self.experiment, self.scale, self.seed)
+    }
+}
+
+/// A parsed campaign manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spec {
+    /// Display name from the `campaign` directive.
+    pub name: String,
+    /// Experiments, in declaration order, de-duplicated.
+    pub experiments: Vec<String>,
+    /// Scales, in declaration order, de-duplicated.
+    pub scales: Vec<String>,
+    /// Seeds, in declaration order, de-duplicated.
+    pub seeds: Vec<u64>,
+}
+
+impl Spec {
+    /// Expand the grid: experiment-major, then scale, then seed.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.experiments.len() * self.scales.len() * self.seeds.len());
+        for experiment in &self.experiments {
+            for scale in &self.scales {
+                for &seed in &self.seeds {
+                    out.push(Cell {
+                        experiment: experiment.clone(),
+                        scale: scale.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Push `item` unless already present (grids stay duplicate-free while
+/// preserving declaration order).
+fn push_unique<T: PartialEq>(list: &mut Vec<T>, item: T) {
+    if !list.contains(&item) {
+        list.push(item);
+    }
+}
+
+/// Parse one `seeds` token: either a single integer or an inclusive
+/// `a..b` range.
+fn parse_seed_token(tok: &str, line_no: usize) -> Result<Vec<u64>, String> {
+    if let Some((lo, hi)) = tok.split_once("..") {
+        let lo: u64 = lo
+            .parse()
+            .map_err(|_| format!("manifest line {line_no}: bad seed range `{tok}`"))?;
+        let hi: u64 = hi
+            .parse()
+            .map_err(|_| format!("manifest line {line_no}: bad seed range `{tok}`"))?;
+        if lo > hi {
+            return Err(format!("manifest line {line_no}: empty seed range `{tok}`"));
+        }
+        if hi - lo >= 10_000 {
+            return Err(format!("manifest line {line_no}: seed range `{tok}` too large"));
+        }
+        Ok((lo..=hi).collect())
+    } else {
+        let seed: u64 = tok
+            .parse()
+            .map_err(|_| format!("manifest line {line_no}: bad seed `{tok}`"))?;
+        Ok(vec![seed])
+    }
+}
+
+/// Parse a campaign manifest from its text.
+pub fn parse(text: &str) -> Result<Spec, String> {
+    let mut name = None;
+    let mut experiments = Vec::new();
+    let mut scales = Vec::new();
+    let mut seeds = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_ascii_whitespace();
+        let directive = toks.next().unwrap_or("");
+        let args: Vec<&str> = toks.collect();
+        match directive {
+            "campaign" => match args.as_slice() {
+                [n] => {
+                    if name.replace(n.to_string()).is_some() {
+                        return Err(format!(
+                            "manifest line {line_no}: duplicate `campaign` directive"
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "manifest line {line_no}: `campaign` takes exactly one name"
+                    ))
+                }
+            },
+            "experiments" => {
+                if args.is_empty() {
+                    return Err(format!("manifest line {line_no}: `experiments` needs names"));
+                }
+                for a in args {
+                    push_unique(&mut experiments, a.to_string());
+                }
+            }
+            "scales" => {
+                if args.is_empty() {
+                    return Err(format!("manifest line {line_no}: `scales` needs values"));
+                }
+                for a in args {
+                    if a != "quick" && a != "full" {
+                        return Err(format!(
+                            "manifest line {line_no}: unknown scale `{a}` (quick|full)"
+                        ));
+                    }
+                    push_unique(&mut scales, a.to_string());
+                }
+            }
+            "seeds" => {
+                if args.is_empty() {
+                    return Err(format!("manifest line {line_no}: `seeds` needs values"));
+                }
+                for a in args {
+                    for s in parse_seed_token(a, line_no)? {
+                        push_unique(&mut seeds, s);
+                    }
+                }
+            }
+            other => {
+                return Err(format!("manifest line {line_no}: unknown directive `{other}`"));
+            }
+        }
+    }
+    let name = name.ok_or_else(|| "manifest: missing `campaign <name>` directive".to_string())?;
+    if experiments.is_empty() {
+        return Err("manifest: no `experiments` declared".to_string());
+    }
+    if scales.is_empty() {
+        scales.push("quick".to_string());
+    }
+    if seeds.is_empty() {
+        seeds.push(1);
+    }
+    Ok(Spec { name, experiments, scales, seeds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar_and_expands_in_order() {
+        let spec = parse(
+            "# nightly sweep\n\
+             campaign nightly\n\
+             experiments fig05_rop_samples table1_params\n\
+             experiments fig05_rop_samples   # duplicate is dropped\n\
+             scales quick full\n\
+             seeds 1 2 5..7\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "nightly");
+        assert_eq!(spec.experiments, ["fig05_rop_samples", "table1_params"]);
+        assert_eq!(spec.scales, ["quick", "full"]);
+        assert_eq!(spec.seeds, [1, 2, 5, 6, 7]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 5);
+        assert_eq!(cells[0].id(), "fig05_rop_samples.quick.s1");
+        assert_eq!(cells.last().unwrap().id(), "table1_params.full.s7");
+        // Experiment-major: all fig05 cells precede all table1 cells.
+        let split = cells.iter().position(|c| c.experiment == "table1_params").unwrap();
+        assert!(cells.iter().take(split).all(|c| c.experiment == "fig05_rop_samples"));
+    }
+
+    #[test]
+    fn defaults_apply_when_directives_absent() {
+        let spec = parse("campaign tiny\nexperiments fig14_control_cost\n").unwrap();
+        assert_eq!(spec.scales, ["quick"]);
+        assert_eq!(spec.seeds, [1]);
+        assert_eq!(spec.cells().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        assert!(parse("experiments x\n").is_err(), "missing campaign name");
+        assert!(parse("campaign a\ncampaign b\nexperiments x\n").is_err(), "dup name");
+        assert!(parse("campaign a\n").is_err(), "no experiments");
+        assert!(parse("campaign a\nexperiments x\nscales huge\n").is_err(), "bad scale");
+        assert!(parse("campaign a\nexperiments x\nseeds 9..2\n").is_err(), "empty range");
+        assert!(parse("campaign a\nexperiments x\nseeds zero\n").is_err(), "bad seed");
+        assert!(parse("campaign a\nexperiments x\nfrobnicate y\n").is_err(), "unknown directive");
+        assert!(parse("campaign a b\nexperiments x\n").is_err(), "campaign arity");
+        assert!(parse("campaign a\nexperiments x\nseeds 0..100000\n").is_err(), "huge range");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored_everywhere() {
+        let a = parse("campaign c\nexperiments x y\nseeds 3\n").unwrap();
+        let b = parse("\n# head\ncampaign c # trail\n\nexperiments x y#tight\nseeds 3\n# tail\n")
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

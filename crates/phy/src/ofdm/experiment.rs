@@ -78,7 +78,7 @@ pub fn received_spectrum(scenario: SpectrumScenario, seed: u64) -> Vec<(i32, f64
 }
 
 /// One cell of the Fig 6 sweep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GuardSweepPoint {
     /// Number of guard subcarriers between the subchannels.
     pub guard: usize,

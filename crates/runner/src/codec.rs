@@ -1,0 +1,412 @@
+//! Byte-exact shard serialization for the result cache.
+//!
+//! The shard cache (`crate::cache`, backed by `domino_campaign::store`)
+//! stores each shard's *result value*, not its rendered text — the merge
+//! function still runs on every invocation so cached and fresh shards
+//! flow through the identical code path. That requires every shard type
+//! to round-trip through bytes **losslessly**: floats are encoded via
+//! [`f64::to_bits`], never formatted, so a decoded shard is
+//! bit-for-bit the value the shard function returned and the merged text
+//! is byte-identical whether zero, some, or all shards came from the
+//! cache.
+//!
+//! [`Codec`] is a *mandatory* bound on [`Plan::new`](crate::plan::Plan::new):
+//! an experiment that cannot serialize its shards cannot be registered,
+//! so cacheability is enforced at compile time rather than discovered as
+//! a runtime gap. Encodings are length-prefixed little-endian with no
+//! self-description — the cache key already pins experiment, code
+//! fingerprint, scale, seed, and shard index, so a decode is only ever
+//! attempted against bytes produced by the same type. Any malformed or
+//! truncated input decodes to `None` (the caller treats it as a cache
+//! miss and recomputes).
+
+use domino_core::{FaultStats, Scheme};
+use domino_phy::ofdm::GuardSweepPoint;
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh, empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (lossless).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `u64` length prefix followed by raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over encoded bytes; every read is bounds-checked and returns
+/// `None` past the end.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1)?.first().copied()
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap_or([0; 4])))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap_or([0; 8])))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Option<f64> {
+        self.get_u64().map(f64::from_bits)
+    }
+
+    /// Read a `u64`-length-prefixed byte run.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len: usize = self.get_u64()?.try_into().ok()?;
+        self.take(len)
+    }
+}
+
+/// Lossless byte round-trip for shard result values.
+///
+/// Contract (pinned by the cache property tests in `tests/cache_props.rs`):
+/// `Self::from_bytes(&v.to_bytes()) == Some(v)` for every value an
+/// experiment's shard can produce, and `from_bytes` returns `None` —
+/// never panics, never invents a value — on input it did not write.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Decode one value from the reader, or `None` if the bytes don't
+    /// parse.
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self>;
+
+    /// Encode to an owned buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a complete buffer; trailing bytes are a decode error.
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.is_exhausted().then_some(v)
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.get_u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.get_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self as u64);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.get_u64()?.try_into().ok()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.get_f64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        match r.get_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        String::from_utf8(r.get_bytes()?.to_vec()).ok()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let len: usize = r.get_u64()?.try_into().ok()?;
+        // Guard the pre-allocation: a corrupt length must not OOM.
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let a = A::decode(r)?;
+        let b = B::decode(r)?;
+        Some((a, b))
+    }
+}
+
+impl<T: Codec, const N: usize> Codec for [T; N] {
+    fn encode(&self, w: &mut ByteWriter) {
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(r)?);
+        }
+        out.try_into().ok()
+    }
+}
+
+impl Codec for Scheme {
+    fn encode(&self, w: &mut ByteWriter) {
+        let idx = Scheme::ALL.iter().position(|s| s == self).unwrap_or(0);
+        w.put_u8(idx as u8);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Scheme::ALL.get(usize::from(r.get_u8()?)).copied()
+    }
+}
+
+impl Codec for FaultStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        for v in [
+            self.wired_msgs_lost,
+            self.wired_spikes,
+            self.ap_crashes,
+            self.crash_recoveries,
+            self.compute_stalls,
+            self.fades_opened,
+            self.detections_suppressed,
+            self.rops_corrupted,
+            self.stale_reports,
+            self.churn_events,
+            self.churn_drops,
+            self.livelocks,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(FaultStats {
+            wired_msgs_lost: r.get_u64()?,
+            wired_spikes: r.get_u64()?,
+            ap_crashes: r.get_u64()?,
+            crash_recoveries: r.get_u64()?,
+            compute_stalls: r.get_u64()?,
+            fades_opened: r.get_u64()?,
+            detections_suppressed: r.get_u64()?,
+            rops_corrupted: r.get_u64()?,
+            stale_reports: r.get_u64()?,
+            churn_events: r.get_u64()?,
+            churn_drops: r.get_u64()?,
+            livelocks: r.get_u64()?,
+        })
+    }
+}
+
+impl Codec for GuardSweepPoint {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.guard.encode(w);
+        w.put_f64(self.rss_diff_db);
+        w.put_f64(self.decode_ratio);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(GuardSweepPoint {
+            guard: usize::decode(r)?,
+            rss_diff_db: r.get_f64()?,
+            decode_ratio: r.get_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Some(&v), "round-trip failed");
+        // Truncation at every prefix length must fail cleanly, not panic
+        // or succeed (the full-buffer decode demands exhaustion).
+        for cut in 0..bytes.len() {
+            let prefix = bytes.get(..cut).unwrap_or(&[]);
+            assert!(T::from_bytes(prefix).is_none(), "truncated decode at {cut} succeeded");
+        }
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::new());
+        roundtrip("fig05_rop_samples — öutput\n".to_string());
+        roundtrip((1.5f64, u64::MAX));
+    }
+
+    #[test]
+    fn floats_roundtrip_by_bits() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX, f64::NEG_INFINITY] {
+            let back = f64::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "bit pattern must survive");
+        }
+        let nan = f64::from_bytes(&f64::NAN.to_bytes()).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![1.0f64, -2.5, 3.25]);
+        roundtrip(vec!["a".to_string(), String::new(), "c\n".to_string()]);
+        roundtrip([1.0f64, 2.0, 3.0]);
+        roundtrip(vec![vec![1u64, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn corrupt_length_is_a_decode_error_not_an_alloc() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd element count
+        assert!(Vec::<u64>::from_bytes(&w.into_bytes()).is_none());
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd string length
+        assert!(String::from_bytes(&w.into_bytes()).is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_and_bool_fail() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&w.into_bytes()).is_none());
+        assert!(bool::from_bytes(&[2]).is_none());
+    }
+
+    #[test]
+    fn domain_types_roundtrip() {
+        for scheme in Scheme::ALL {
+            roundtrip(scheme);
+        }
+        assert!(Scheme::from_bytes(&[200]).is_none(), "out-of-range scheme tag");
+        roundtrip(GuardSweepPoint { guard: 4, rss_diff_db: -12.5, decode_ratio: 0.875 });
+        let stats = FaultStats {
+            wired_msgs_lost: 1,
+            wired_spikes: 2,
+            ap_crashes: 3,
+            crash_recoveries: 4,
+            compute_stalls: 5,
+            fades_opened: 6,
+            detections_suppressed: 7,
+            rops_corrupted: 8,
+            stale_reports: 9,
+            churn_events: 10,
+            churn_drops: 11,
+            livelocks: 12,
+        };
+        roundtrip(stats);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_none());
+    }
+}

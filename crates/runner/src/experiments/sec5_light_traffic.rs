@@ -5,6 +5,7 @@
 //! One shard per scheme.
 
 use super::util::{outln, push_block};
+use crate::codec::{ByteReader, ByteWriter, Codec};
 use crate::plan::Plan;
 use crate::scale::Scale;
 use domino_core::{scenarios, Scheme, SimulationBuilder};
@@ -16,10 +17,27 @@ pub const NAME: &str = "sec5_light_traffic";
 pub const OUTPUT: &str = "sec5_light_traffic.txt";
 
 struct Cell {
-    label: &'static str,
+    scheme: Scheme,
     tput: f64,
     delay_us: f64,
     drops: u64,
+}
+
+impl Codec for Cell {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.scheme.encode(w);
+        w.put_f64(self.tput);
+        w.put_f64(self.delay_us);
+        w.put_u64(self.drops);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(Cell {
+            scheme: Scheme::decode(r)?,
+            tput: r.get_f64()?,
+            delay_us: r.get_f64()?,
+            drops: r.get_u64()?,
+        })
+    }
 }
 
 /// Build the plan: DOMINO and DCF shards on T(6,5) at 6 kB/s per link.
@@ -37,7 +55,7 @@ pub fn plan(scale: Scale, seed: u64) -> Plan {
                     .seed(seed)
                     .run(scheme);
                 Cell {
-                    label: scheme.label(),
+                    scheme,
                     tput: r.aggregate_mbps(),
                     delay_us: r.mean_delay_us(),
                     drops: r.stats.drops,
@@ -52,7 +70,7 @@ pub fn plan(scale: Scale, seed: u64) -> Plan {
         );
         for c in &cells {
             t.row(&[
-                c.label.to_string(),
+                c.scheme.label().to_string(),
                 format!("{:.3}", c.tput),
                 format!("{:.2}", c.delay_us / 1000.0),
                 c.drops.to_string(),

@@ -31,12 +31,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod codec;
 pub mod experiments;
 pub mod plan;
 pub mod pool;
 pub mod registry;
 pub mod scale;
 pub mod single;
+pub mod sweep;
 
 use plan::RunDigest;
 use registry::Experiment;

@@ -56,6 +56,56 @@ for trace in "$TRACE_DIR"/*.jsonl; do
     ./target/release/domino-trace check "$trace"
 done
 
+echo "== source fingerprint: committed manifest matches the tree =="
+# The shard cache keys every entry by a digest of the workspace sources;
+# the committed manifest pins that fingerprint so a source edit that
+# forgets to regenerate it fails here, not as a silent cache miss storm.
+./target/release/domino-run fingerprint | diff -u results/source_manifest.txt - \
+    || { echo "ERROR: source fingerprint drifted from results/source_manifest.txt; regenerate with: ./target/release/domino-run fingerprint > results/source_manifest.txt" >&2; exit 1; }
+
+echo "== warm-cache gate: cold fill, then zero-execution rerun =="
+# Cold: the full default suite through the cache (still --check, so the
+# cached path is held to the same byte-for-byte golden bar). Warm: the
+# identical invocation must serve every shard from the store — zero
+# misses — and still byte-match the goldens. This is the purity claim
+# made operational: the cache can change wall time only, never bytes.
+CACHE_DIR="$(mktemp -d)/cache"
+./target/release/domino-run --check --jobs 2 --cache --cache-dir "$CACHE_DIR" > /dev/null
+WARM_LOG="$(mktemp)"
+./target/release/domino-run --check --jobs 2 --cache --cache-dir "$CACHE_DIR" | tee "$WARM_LOG" | grep -E "campaign\.cache\.(hits|misses)"
+grep -q "campaign.cache.misses 0" "$WARM_LOG" \
+    || { echo "ERROR: warm rerun missed the cache" >&2; exit 1; }
+if grep -qE " cache: [0-9]+ hits?, [1-9][0-9]* executed" "$WARM_LOG"; then
+    echo "ERROR: warm rerun executed shards" >&2
+    exit 1
+fi
+rm -f "$WARM_LOG"
+
+echo "== campaign smoke: grid twice + interrupted resume =="
+# A small experiment × seed grid, run cold then warm: the second pass
+# must be 100% cache hits and the two merged reports byte-identical.
+# Then interruption is simulated by deleting the report, one cell file,
+# and the ledger's last line; --resume must rebuild the exact report.
+CAMP_DIR="$(mktemp -d)"
+cat > "$CAMP_DIR/smoke.campaign" <<'EOF'
+campaign ci-smoke
+experiments table1_params fig05_rop_samples
+seeds 1 2
+EOF
+./target/release/domino-run campaign "$CAMP_DIR/smoke.campaign" \
+    --cache-dir "$CACHE_DIR" --out "$CAMP_DIR/cold"
+./target/release/domino-run campaign "$CAMP_DIR/smoke.campaign" \
+    --cache-dir "$CACHE_DIR" --out "$CAMP_DIR/warm" | grep -E "cache: [0-9]+ hits, 0 misses"
+diff "$CAMP_DIR/cold/report.txt" "$CAMP_DIR/warm/report.txt"
+echo "campaign reports identical across cold/warm"
+rm -f "$CAMP_DIR/warm/report.txt" "$CAMP_DIR/warm/cells/fig05_rop_samples.quick.s2.txt"
+sed -i '$ d' "$CAMP_DIR/warm/ledger.txt"
+./target/release/domino-run campaign "$CAMP_DIR/smoke.campaign" \
+    --cache-dir "$CACHE_DIR" --out "$CAMP_DIR/warm" --resume | grep "3 resumed, 1 executed"
+diff "$CAMP_DIR/cold/report.txt" "$CAMP_DIR/warm/report.txt"
+echo "campaign resume rebuilt the identical report"
+rm -rf "$CAMP_DIR" "$(dirname "$CACHE_DIR")"
+
 echo "== differential oracle: timer wheel vs reference heap (fixed seed) =="
 # The engine's timer wheel is checked op-for-op against the (time, seq)
 # BinaryHeap oracle under a fixed master seed so failures replay exactly.
